@@ -1,0 +1,37 @@
+// Command evaltables regenerates the evaluation tables of the DiSE paper
+// (Tables 2(a)–(c) and 3(a)–(c)) on the re-created artifacts.
+//
+// Usage:
+//
+//	evaltables                 # all artifacts
+//	evaltables -artifact WBS   # one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dise"
+)
+
+func main() {
+	artifact := flag.String("artifact", "", "artifact to evaluate: ASW, WBS or OAE (default: all)")
+	depth := flag.Int("depth", 0, "depth bound (0 = default)")
+	flag.Parse()
+
+	names := dise.EvaluationArtifacts()
+	if *artifact != "" {
+		names = []string{*artifact}
+	}
+	opts := dise.Options{DepthBound: *depth}
+	for _, name := range names {
+		t2, t3, err := dise.EvaluationTables(name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaltables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t2)
+		fmt.Println(t3)
+	}
+}

@@ -1,0 +1,398 @@
+// Package dise is a Go implementation of Directed Incremental Symbolic
+// Execution (Person, Yang, Rungta, Khurshid — PLDI 2011), together with the
+// complete substrate it needs: a small Java-like imperative language with
+// lexer, parser and type checker; control flow graphs with post-dominance,
+// control dependence and SCC analyses; a structural AST diff; a symbolic
+// execution engine; and a Choco-style finite-domain constraint solver.
+//
+// The package is a facade over the internal packages: it parses two versions
+// of a program, diffs them, computes the affected-location sets (ACN/AWN,
+// paper Fig. 3–5), runs the directed symbolic execution (paper Fig. 6), and
+// exposes the resulting affected path conditions, cost statistics, and
+// regression-test selection/augmentation (paper §5.2).
+//
+// Quick start:
+//
+//	res, err := dise.Analyze(baseSrc, modSrc, "update", dise.Options{})
+//	for _, pc := range res.PathConditions() { fmt.Println(pc) }
+package dise
+
+import (
+	"fmt"
+
+	"dise/internal/artifacts"
+	"dise/internal/cfg"
+	idise "dise/internal/dise"
+	"dise/internal/evaluation"
+	"dise/internal/inline"
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+	"dise/internal/lang/types"
+	"dise/internal/solver"
+	"dise/internal/symexec"
+	"dise/internal/testgen"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// DepthBound limits the number of CFG nodes executed on one path
+	// (loop/recursion bound, paper §2.1). Zero selects the default of 1000.
+	DepthBound int
+	// IntDomain overrides the solver domain of integer symbolic inputs.
+	// The zero value selects the Choco-like non-negative default
+	// [0, 1e6] (see DESIGN.md).
+	IntDomain *[2]int64
+	// ConcreteGlobals makes globals take their declared initializers
+	// instead of fresh symbolic values.
+	ConcreteGlobals bool
+	// SolverNodeBudget caps constraint-solver search nodes per
+	// satisfiability check (0 = default). Exhausted budgets are treated as
+	// unsatisfiable, as SPF does (paper §4.1).
+	SolverNodeBudget int
+	// TransitiveWrites enables the write→write dataflow extension to the
+	// paper's affected-set rules (DESIGN.md §6.4).
+	TransitiveWrites bool
+}
+
+func (o Options) engineConfig() symexec.Config {
+	cfg := symexec.Config{
+		DepthBound:      o.DepthBound,
+		ConcreteGlobals: o.ConcreteGlobals,
+		SolverOptions:   solver.Options{NodeBudget: o.SolverNodeBudget},
+	}
+	if o.IntDomain != nil {
+		cfg.IntDomain = solver.Interval{Lo: o.IntDomain[0], Hi: o.IntDomain[1]}
+	}
+	return cfg
+}
+
+// Program is a parsed and type-checked program.
+type Program struct {
+	AST *ast.Program
+	src string
+}
+
+// ParseProgram parses and type-checks source text.
+func ParseProgram(src string) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := types.Check(prog); err != nil {
+		return nil, err
+	}
+	return &Program{AST: prog, src: src}, nil
+}
+
+// Procedures lists the procedure names in declaration order.
+func (p *Program) Procedures() []string {
+	out := make([]string, len(p.AST.Procs))
+	for i, pr := range p.AST.Procs {
+		out[i] = pr.Name
+	}
+	return out
+}
+
+// Pretty returns the canonical pretty-printed source.
+func (p *Program) Pretty() string { return ast.Pretty(p.AST) }
+
+// PathInfo describes one explored path.
+type PathInfo struct {
+	// PathCondition is the rendered path condition, e.g.
+	// "PedalPos <= 0 && BSwitch == 0".
+	PathCondition string
+	// AssertViolated reports that the path ends in an assertion failure.
+	AssertViolated bool
+}
+
+// Stats summarizes the cost of a symbolic execution run (the dependent
+// variables of the paper's evaluation, §4.2.2).
+type Stats struct {
+	StatesExplored     int
+	PathConditions     int
+	InfeasibleBranches int
+	TimeMilliseconds   int64
+	SolverCalls        int
+}
+
+func statsOf(s symexec.Stats, pcs int) Stats {
+	return Stats{
+		StatesExplored:     s.StatesExplored,
+		PathConditions:     pcs,
+		InfeasibleBranches: s.InfeasibleBranches,
+		TimeMilliseconds:   s.Time.Milliseconds(),
+		SolverCalls:        s.Solver.Calls,
+	}
+}
+
+// Result is the outcome of a DiSE analysis of two program versions.
+type Result struct {
+	// Paths are the affected path conditions of the modified version.
+	Paths []PathInfo
+	// Stats is the cost of the directed symbolic execution.
+	Stats Stats
+	// ChangedNodes counts CFG nodes marked changed/added/removed by the
+	// differential analysis.
+	ChangedNodes int
+	// AffectedConditionalLines and AffectedWriteLines are the source lines
+	// of the affected sets (ACN and AWN) in the modified version.
+	AffectedConditionalLines []int
+	AffectedWriteLines       []int
+
+	internal *idise.Result
+	config   symexec.Config
+	modProg  *ast.Program
+	procName string
+}
+
+// PathConditions returns the rendered affected path conditions.
+func (r *Result) PathConditions() []string {
+	out := make([]string, len(r.Paths))
+	for i, p := range r.Paths {
+		out[i] = p.PathCondition
+	}
+	return out
+}
+
+// Analyze runs the full DiSE pipeline on two versions of procedure procName
+// given as source text. Per the paper (§3.1), the two sources are the only
+// inputs: no state from previous analysis runs is needed.
+func Analyze(baseSrc, modSrc, procName string, opts Options) (*Result, error) {
+	base, err := ParseProgram(baseSrc)
+	if err != nil {
+		return nil, fmt.Errorf("base version: %w", err)
+	}
+	mod, err := ParseProgram(modSrc)
+	if err != nil {
+		return nil, fmt.Errorf("modified version: %w", err)
+	}
+	return analyzePrograms(base, mod, procName, opts)
+}
+
+// AnalyzeInterprocedural runs DiSE over a whole multi-procedure program:
+// both versions are inlined from the entry procedure (expanding every call,
+// see internal/inline) and the intra-procedural pipeline analyzes the
+// result. This realizes the paper's §7 future work — changes inside callees
+// flow into caller conditionals through parameters and globals. Requires an
+// acyclic call graph and single-exit callees.
+func AnalyzeInterprocedural(baseSrc, modSrc, entryProc string, opts Options) (*Result, error) {
+	base, err := ParseProgram(baseSrc)
+	if err != nil {
+		return nil, fmt.Errorf("base version: %w", err)
+	}
+	mod, err := ParseProgram(modSrc)
+	if err != nil {
+		return nil, fmt.Errorf("modified version: %w", err)
+	}
+	baseFlat, err := inline.Program(base.AST, entryProc)
+	if err != nil {
+		return nil, fmt.Errorf("base version: %w", err)
+	}
+	modFlat, err := inline.Program(mod.AST, entryProc)
+	if err != nil {
+		return nil, fmt.Errorf("modified version: %w", err)
+	}
+	return analyzePrograms(&Program{AST: baseFlat}, &Program{AST: modFlat}, entryProc, opts)
+}
+
+// InlineProgram expands every call reachable from entryProc and returns the
+// single-procedure program as pretty-printed source.
+func InlineProgram(src, entryProc string) (string, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return "", err
+	}
+	flat, err := inline.Program(prog.AST, entryProc)
+	if err != nil {
+		return "", err
+	}
+	return ast.Pretty(flat), nil
+}
+
+func analyzePrograms(base, mod *Program, procName string, opts Options) (*Result, error) {
+	config := opts.engineConfig()
+	res, err := idise.AnalyzeOpts(base.AST, mod.AST, procName, config,
+		idise.Options{TransitiveWrites: opts.TransitiveWrites})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths)),
+		ChangedNodes:             res.Affected.ChangedNodes,
+		AffectedConditionalLines: res.Affected.ACNLines(),
+		AffectedWriteLines:       res.Affected.AWNLines(),
+		internal:                 res,
+		config:                   config,
+		modProg:                  mod.AST,
+		procName:                 procName,
+	}
+	for _, p := range res.Summary.Paths {
+		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+	}
+	return out, nil
+}
+
+// Summary is the outcome of full (traditional) symbolic execution.
+type Summary struct {
+	Paths []PathInfo
+	Stats Stats
+
+	engine  *symexec.Engine
+	summary *symexec.Summary
+}
+
+// PathConditions returns the rendered path conditions.
+func (s *Summary) PathConditions() []string {
+	out := make([]string, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = p.PathCondition
+	}
+	return out
+}
+
+// Execute runs full symbolic execution of procedure procName — the paper's
+// control technique ("Full Symbc").
+func Execute(src, procName string, opts Options) (*Summary, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := symexec.New(prog.AST, procName, opts.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	summary := engine.RunFull()
+	out := &Summary{engine: engine, summary: summary, Stats: statsOf(summary.Stats, len(summary.Paths))}
+	for _, p := range summary.Paths {
+		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+	}
+	return out, nil
+}
+
+// ExecutionTree renders the symbolic execution tree (paper Fig. 1) of
+// procedure procName. Intended for small programs: the tree output grows
+// with the number of states.
+func ExecutionTree(src, procName string, opts Options) (string, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return "", err
+	}
+	engine, err := symexec.New(prog.AST, procName, opts.engineConfig())
+	if err != nil {
+		return "", err
+	}
+	return engine.BuildTree().Render(), nil
+}
+
+// TestCase is a concrete invocation of the procedure under analysis,
+// rendered as a call string (paper §5.2).
+type TestCase struct {
+	Call          string
+	PathCondition string
+}
+
+// Tests solves the summary's path conditions into concrete test inputs.
+func (s *Summary) Tests() []TestCase {
+	return convertTests(testgen.NewGenerator(s.engine).Generate(s.summary))
+}
+
+// Tests solves the DiSE result's affected path conditions into concrete
+// test inputs for the modified version.
+func (r *Result) Tests() ([]TestCase, error) {
+	engine, err := symexec.New(r.modProg, r.procName, r.config)
+	if err != nil {
+		return nil, err
+	}
+	return convertTests(testgen.NewGenerator(engine).Generate(r.internal.Summary)), nil
+}
+
+func convertTests(ts []testgen.TestCase) []TestCase {
+	out := make([]TestCase, len(ts))
+	for i, tc := range ts {
+		out[i] = TestCase{Call: tc.Call, PathCondition: tc.PCString}
+	}
+	return out
+}
+
+// Selection splits DiSE-generated tests against an existing suite (paper
+// §5.2, Table 3): Selected tests already exist and can be re-used; Added
+// tests are new and augment the suite.
+type Selection struct {
+	Selected []TestCase
+	Added    []TestCase
+}
+
+// SelectAugment performs test case selection and augmentation by exact
+// string comparison of rendered calls, as in the paper.
+func SelectAugment(baseSuite, diseTests []TestCase) Selection {
+	toInternal := func(ts []TestCase) []testgen.TestCase {
+		out := make([]testgen.TestCase, len(ts))
+		for i, tc := range ts {
+			out[i] = testgen.TestCase{Call: tc.Call, PCString: tc.PathCondition}
+		}
+		return out
+	}
+	sel := testgen.SelectAugment(toInternal(baseSuite), toInternal(diseTests))
+	return Selection{
+		Selected: convertTests(sel.Selected),
+		Added:    convertTests(sel.Added),
+	}
+}
+
+// CFGDot renders the control flow graph of procedure procName in Graphviz
+// DOT format (paper Fig. 2(b)).
+func CFGDot(src, procName string) (string, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return "", err
+	}
+	pr := prog.AST.Proc(procName)
+	if pr == nil {
+		return "", fmt.Errorf("procedure %q not found", procName)
+	}
+	g := cfg.Build(pr)
+	return g.Dot(cfg.DotOptions{Title: procName}), nil
+}
+
+// AffectedCFGDot renders the modified version's CFG with affected nodes
+// highlighted: affected conditionals in light red, affected writes in light
+// blue, like the shading of the paper's Fig. 2(b).
+func AffectedCFGDot(baseSrc, modSrc, procName string, opts Options) (string, error) {
+	res, err := Analyze(baseSrc, modSrc, procName, opts)
+	if err != nil {
+		return "", err
+	}
+	g := res.internal.ModGraph
+	highlight := map[int]string{}
+	for id := range res.internal.Affected.ACN {
+		highlight[id] = "lightcoral"
+	}
+	for id := range res.internal.Affected.AWN {
+		highlight[id] = "lightblue"
+	}
+	return g.Dot(cfg.DotOptions{Title: procName, Highlight: highlight}), nil
+}
+
+// EvaluationArtifacts lists the names of the built-in evaluation artifacts
+// (the paper's WBS, ASW and OAE re-creations).
+func EvaluationArtifacts() []string {
+	var out []string
+	for _, a := range artifacts.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// EvaluationTables regenerates Table 2 and Table 3 of the paper for the
+// named artifact ("ASW", "WBS" or "OAE") and returns their rendered forms.
+func EvaluationTables(artifact string, opts Options) (table2, table3 string, err error) {
+	a, ok := artifacts.ByName(artifact)
+	if !ok {
+		return "", "", fmt.Errorf("unknown artifact %q (have %v)", artifact, EvaluationArtifacts())
+	}
+	res, err := evaluation.Run(a, opts.engineConfig())
+	if err != nil {
+		return "", "", err
+	}
+	return res.Table2(), res.Table3(), nil
+}

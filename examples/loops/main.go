@@ -1,0 +1,59 @@
+// Loops: DiSE on a program with a while loop.
+//
+// The paper's artifacts are loop-free, but the algorithm handles loops via
+// a depth bound (paper §2.1) and the CheckLoops/SCC machinery of Fig. 6,
+// which re-arms affected nodes inside a loop's strongly connected component
+// so sequences of affected nodes across iterations are explored. This
+// example shows DiSE following a changed loop body across iterations.
+//
+// Run with: go run ./examples/loops
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dise"
+)
+
+const baseVersion = `
+proc drain(int Tank, int Valve) {
+  Level = Tank;
+  Steps = 0;
+  while (Level > 0 && Steps < 5) {
+    Level = Level - Valve;
+    Steps = Steps + 1;
+  }
+  if (Steps >= 5) {
+    Timeout = 1;
+  } else {
+    Timeout = 0;
+  }
+}
+`
+
+func main() {
+	// The change: the drain step removes twice the valve flow.
+	modVersion := strings.Replace(baseVersion, "Level = Level - Valve;", "Level = Level - Valve - Valve;", 1)
+
+	opts := dise.Options{DepthBound: 60}
+	full, err := dise.Execute(modVersion, "drain", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dise.Analyze(baseVersion, modVersion, "drain", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("full symbolic execution: %d path conditions, %d states\n",
+		len(full.Paths), full.Stats.StatesExplored)
+	fmt.Printf("DiSE:                    %d path conditions, %d states\n\n",
+		len(res.Paths), res.Stats.StatesExplored)
+
+	fmt.Println("affected path conditions across loop iterations:")
+	for i, pc := range res.PathConditions() {
+		fmt.Printf("  PC%d: %s\n", i+1, pc)
+	}
+}

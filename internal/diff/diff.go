@@ -1,0 +1,335 @@
+// Package diff implements the lightweight differential analysis DiSE takes
+// as input (paper §3.1): a structural AST comparison of two versions of a
+// procedure.
+//
+// The result marks every statement of the base version as unchanged, changed
+// or removed, every statement of the modified version as unchanged, changed
+// or added, and produces the diffMap relating base statements to their
+// corresponding statements in the modified version. A pre-processing step in
+// package dise lifts these marks onto CFG nodes.
+//
+// The algorithm aligns statement lists with a longest-common-subsequence
+// over deep statement equality (rendered text), then pairs the remaining
+// statements of equal kind in order, recursing into the branches of paired
+// if/while statements. This matches the paper's description of "source line
+// or abstract syntax tree diff" precision: it is deliberately syntactic and
+// conservative, with no semantic matching.
+package diff
+
+import (
+	"sort"
+
+	"dise/internal/lang/ast"
+)
+
+// Mark classifies a statement relative to the other program version.
+type Mark int
+
+// Mark values. Base statements are Unchanged/Changed/Removed; modified
+// version statements are Unchanged/Changed/Added.
+const (
+	Unchanged Mark = iota
+	Changed
+	Added
+	Removed
+)
+
+// String names the mark.
+func (m Mark) String() string {
+	switch m {
+	case Unchanged:
+		return "unchanged"
+	case Changed:
+		return "changed"
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	}
+	return "invalid"
+}
+
+// Result is the outcome of diffing two procedure versions.
+type Result struct {
+	Base, Mod *ast.Procedure
+	// BaseMarks marks every statement of the base version.
+	BaseMarks map[ast.Stmt]Mark
+	// ModMarks marks every statement of the modified version.
+	ModMarks map[ast.Stmt]Mark
+	// Pairs is the diffMap: base statement → corresponding mod statement,
+	// defined for unchanged and changed statements only (removed statements
+	// map to nothing, per the paper's "get returns the empty set").
+	Pairs map[ast.Stmt]ast.Stmt
+}
+
+// Procedures diffs two versions of a procedure.
+func Procedures(base, mod *ast.Procedure) *Result {
+	r := &Result{
+		Base:      base,
+		Mod:       mod,
+		BaseMarks: map[ast.Stmt]Mark{},
+		ModMarks:  map[ast.Stmt]Mark{},
+		Pairs:     map[ast.Stmt]ast.Stmt{},
+	}
+	r.diffBlocks(base.Body.Stmts, mod.Body.Stmts)
+	return r
+}
+
+// markSubtree marks s and all nested statements with m in the given map.
+func markSubtree(marks map[ast.Stmt]Mark, s ast.Stmt, m Mark) {
+	ast.Walk([]ast.Stmt{s}, func(st ast.Stmt) { marks[st] = m })
+}
+
+// pairSubtrees records pair mappings for two structurally identical
+// subtrees and marks them unchanged.
+func (r *Result) pairSubtrees(b, m ast.Stmt) {
+	r.BaseMarks[b] = Unchanged
+	r.ModMarks[m] = Unchanged
+	r.Pairs[b] = m
+	switch b := b.(type) {
+	case *ast.If:
+		mi := m.(*ast.If)
+		r.pairBlocks(b.Then.Stmts, mi.Then.Stmts)
+		if b.Else != nil && mi.Else != nil {
+			r.pairBlocks(b.Else.Stmts, mi.Else.Stmts)
+		}
+	case *ast.While:
+		mw := m.(*ast.While)
+		r.pairBlocks(b.Body.Stmts, mw.Body.Stmts)
+	case *ast.Block:
+		mb := m.(*ast.Block)
+		r.pairBlocks(b.Stmts, mb.Stmts)
+	}
+}
+
+func (r *Result) pairBlocks(bs, ms []ast.Stmt) {
+	for i := range bs {
+		r.pairSubtrees(bs[i], ms[i])
+	}
+}
+
+// key returns the canonical text of a statement, used as deep-equality key.
+func key(s ast.Stmt) string { return s.String() }
+
+// diffBlocks aligns two statement lists.
+func (r *Result) diffBlocks(bs, ms []ast.Stmt) {
+	anchors := lcs(bs, ms)
+	// Walk gap regions between anchors (plus the tail gap).
+	prevB, prevM := 0, 0
+	for _, a := range anchors {
+		r.diffGap(bs[prevB:a.bi], ms[prevM:a.mi])
+		r.pairSubtrees(bs[a.bi], ms[a.mi])
+		prevB, prevM = a.bi+1, a.mi+1
+	}
+	r.diffGap(bs[prevB:], ms[prevM:])
+}
+
+// diffGap pairs non-identical statements between anchors: same-kind
+// statements pair up in order as changed (recursing into compound bodies);
+// everything left is removed/added.
+func (r *Result) diffGap(bs, ms []ast.Stmt) {
+	bi, mi := 0, 0
+	for bi < len(bs) && mi < len(ms) {
+		b, m := bs[bi], ms[mi]
+		if sameKind(b, m) {
+			r.pairChanged(b, m)
+			bi++
+			mi++
+			continue
+		}
+		// Kinds differ: decide which side to consume. If the base kind still
+		// occurs later on the mod side, the mod statement is an insertion;
+		// otherwise the base statement was removed.
+		if kindAppearsLater(ms[mi+1:], b) {
+			markSubtree(r.ModMarks, m, Added)
+			mi++
+		} else {
+			markSubtree(r.BaseMarks, b, Removed)
+			bi++
+		}
+	}
+	for ; bi < len(bs); bi++ {
+		markSubtree(r.BaseMarks, bs[bi], Removed)
+	}
+	for ; mi < len(ms); mi++ {
+		markSubtree(r.ModMarks, ms[mi], Added)
+	}
+}
+
+// pairChanged pairs two same-kind statements that differ somewhere,
+// recursing into compound statements so that only the genuinely changed
+// parts are marked.
+func (r *Result) pairChanged(b, m ast.Stmt) {
+	r.Pairs[b] = m
+	switch b := b.(type) {
+	case *ast.If:
+		mi := m.(*ast.If)
+		mark := Unchanged
+		if b.Cond.String() != mi.Cond.String() {
+			mark = Changed
+		}
+		r.BaseMarks[b] = mark
+		r.ModMarks[mi] = mark
+		r.diffBlocks(b.Then.Stmts, mi.Then.Stmts)
+		switch {
+		case b.Else != nil && mi.Else != nil:
+			r.diffBlocks(b.Else.Stmts, mi.Else.Stmts)
+		case b.Else != nil:
+			for _, s := range b.Else.Stmts {
+				markSubtree(r.BaseMarks, s, Removed)
+			}
+		case mi.Else != nil:
+			for _, s := range mi.Else.Stmts {
+				markSubtree(r.ModMarks, s, Added)
+			}
+		}
+	case *ast.While:
+		mw := m.(*ast.While)
+		mark := Unchanged
+		if b.Cond.String() != mw.Cond.String() {
+			mark = Changed
+		}
+		r.BaseMarks[b] = mark
+		r.ModMarks[mw] = mark
+		r.diffBlocks(b.Body.Stmts, mw.Body.Stmts)
+	case *ast.Block:
+		mb := m.(*ast.Block)
+		r.BaseMarks[b] = Unchanged
+		r.ModMarks[mb] = Unchanged
+		r.diffBlocks(b.Stmts, mb.Stmts)
+	default:
+		// Leaf statements (assign, assert, skip, return): changed unless
+		// identical (identical ones are normally consumed by the LCS, but a
+		// gap pairing can still see them, e.g. when surrounded by changes).
+		mark := Changed
+		if key(b) == key(m) {
+			mark = Unchanged
+		}
+		r.BaseMarks[b] = mark
+		r.ModMarks[m.(ast.Stmt)] = mark
+	}
+}
+
+func sameKind(a, b ast.Stmt) bool {
+	switch a.(type) {
+	case *ast.Assign:
+		_, ok := b.(*ast.Assign)
+		return ok
+	case *ast.If:
+		_, ok := b.(*ast.If)
+		return ok
+	case *ast.While:
+		_, ok := b.(*ast.While)
+		return ok
+	case *ast.Assert:
+		_, ok := b.(*ast.Assert)
+		return ok
+	case *ast.Skip:
+		_, ok := b.(*ast.Skip)
+		return ok
+	case *ast.Return:
+		_, ok := b.(*ast.Return)
+		return ok
+	case *ast.Call:
+		_, ok := b.(*ast.Call)
+		return ok
+	case *ast.Block:
+		_, ok := b.(*ast.Block)
+		return ok
+	}
+	return false
+}
+
+func kindAppearsLater(ms []ast.Stmt, b ast.Stmt) bool {
+	for _, m := range ms {
+		if sameKind(b, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// lcs computes anchor pairs of deeply-equal statements via classic dynamic
+// programming over the statements' canonical text.
+func lcs(bs, ms []ast.Stmt) []struct{ bi, mi int } {
+	n, m := len(bs), len(ms)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	bkeys := make([]string, n)
+	for i, s := range bs {
+		bkeys[i] = key(s)
+	}
+	mkeys := make([]string, m)
+	for j, s := range ms {
+		mkeys[j] = key(s)
+	}
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if bkeys[i] == mkeys[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var out []struct{ bi, mi int }
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case bkeys[i] == mkeys[j]:
+			out = append(out, struct{ bi, mi int }{i, j})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// --- reporting helpers -------------------------------------------------------
+
+// linesWith returns sorted source lines of statements carrying mark m.
+func linesWith(marks map[ast.Stmt]Mark, want Mark) []int {
+	var out []int
+	for s, m := range marks {
+		if m == want {
+			out = append(out, s.Pos().Line)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ChangedModLines returns the source lines marked changed in the modified
+// version, sorted.
+func (r *Result) ChangedModLines() []int { return linesWith(r.ModMarks, Changed) }
+
+// AddedLines returns the source lines marked added in the modified version.
+func (r *Result) AddedLines() []int { return linesWith(r.ModMarks, Added) }
+
+// RemovedLines returns the base-version source lines marked removed.
+func (r *Result) RemovedLines() []int { return linesWith(r.BaseMarks, Removed) }
+
+// Identical reports whether the diff found no changes at all.
+func (r *Result) Identical() bool {
+	for _, m := range r.BaseMarks {
+		if m != Unchanged {
+			return false
+		}
+	}
+	for _, m := range r.ModMarks {
+		if m != Unchanged {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package diff
+
+import (
+	"testing"
+
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+	"dise/internal/randprog"
+)
+
+// TestPropertyDiffIdentity: diffing a program against itself (through an
+// independent reparse, so no AST pointers are shared) finds nothing.
+func TestPropertyDiffIdentity(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := randprog.New(seed, randprog.Config{}).Source()
+		a, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := Procedures(a.Procs[0], b.Procs[0])
+		if !r.Identical() {
+			t.Fatalf("seed %d: self-diff not identical:\nchanged=%v added=%v removed=%v\n%s",
+				seed, r.ChangedModLines(), r.AddedLines(), r.RemovedLines(), src)
+		}
+		// Every statement must be paired under the identity diff.
+		count := 0
+		ast.Walk(a.Procs[0].Body.Stmts, func(ast.Stmt) { count++ })
+		if len(r.Pairs) != count {
+			t.Fatalf("seed %d: %d pairs for %d statements", seed, len(r.Pairs), count)
+		}
+	}
+}
+
+// TestPropertyDiffMarksAreConsistent: on random mutants, every statement
+// carries exactly one mark per side, pairs connect only non-removed to
+// non-added statements, and the diff is non-identical whenever the printed
+// programs differ.
+func TestPropertyDiffMarksAreConsistent(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		gen := randprog.New(seed, randprog.Config{})
+		baseProg := gen.Program()
+		mutant, _ := gen.Mutate(baseProg, 3)
+		base := baseProg.Procs[0]
+		mod := mutant.Procs[0]
+		r := Procedures(base, mod)
+
+		textDiffers := ast.Pretty(baseProg) != ast.Pretty(mutant)
+		if textDiffers == r.Identical() {
+			t.Fatalf("seed %d: text differs=%v but diff identical=%v", seed, textDiffers, r.Identical())
+		}
+		// Marks cover every statement on both sides.
+		ast.Walk(base.Body.Stmts, func(s ast.Stmt) {
+			if _, ok := r.BaseMarks[s]; !ok {
+				t.Fatalf("seed %d: unmarked base statement %s", seed, s)
+			}
+		})
+		ast.Walk(mod.Body.Stmts, func(s ast.Stmt) {
+			if _, ok := r.ModMarks[s]; !ok {
+				t.Fatalf("seed %d: unmarked mod statement %s", seed, s)
+			}
+		})
+		// Base marks never use Added; mod marks never use Removed.
+		for s, m := range r.BaseMarks {
+			if m == Added {
+				t.Fatalf("seed %d: base statement %s marked added", seed, s)
+			}
+		}
+		for s, m := range r.ModMarks {
+			if m == Removed {
+				t.Fatalf("seed %d: mod statement %s marked removed", seed, s)
+			}
+		}
+		// Pairs: removed statements are unpaired; pair targets are not
+		// marked added; unchanged pairs have identical text.
+		for bs, ms := range r.Pairs {
+			if r.BaseMarks[bs] == Removed {
+				t.Fatalf("seed %d: removed statement %s is paired", seed, bs)
+			}
+			if r.ModMarks[ms] == Added {
+				t.Fatalf("seed %d: pair target %s is marked added", seed, ms)
+			}
+			if r.BaseMarks[bs] == Unchanged && bs.String() != ms.String() {
+				// Compound statements may be marked unchanged with changed
+				// children; only leaf statements must match textually.
+				switch bs.(type) {
+				case *ast.Assign, *ast.Skip, *ast.Return, *ast.Assert, *ast.Call:
+					t.Fatalf("seed %d: unchanged leaf pair differs: %q vs %q", seed, bs, ms)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyDiffMutationLocalization: a single constant mutation to an
+// assignment must mark exactly that statement changed and nothing else.
+func TestPropertyDiffMutationLocalization(t *testing.T) {
+	localized := 0
+	for seed := int64(0); seed < 200; seed++ {
+		gen := randprog.New(seed, randprog.Config{})
+		baseProg := gen.Program()
+		mutant, descs := gen.Mutate(baseProg, 1)
+		if len(descs) != 1 {
+			continue
+		}
+		r := Procedures(baseProg.Procs[0], mutant.Procs[0])
+		changed := len(r.ChangedModLines())
+		added := len(r.AddedLines())
+		removed := len(r.RemovedLines())
+		// One mutation = exactly one changed statement, or one added, or
+		// one removed (depending on the mutation operator applied).
+		total := changed + added + removed
+		if total != 1 {
+			t.Fatalf("seed %d (%v): %d changed, %d added, %d removed; want exactly one difference\nbase:\n%s\nmod:\n%s",
+				seed, descs, changed, added, removed, ast.Pretty(baseProg), ast.Pretty(mutant))
+		}
+		localized++
+	}
+	if localized < 100 {
+		t.Fatalf("only %d/200 seeds produced a single mutation; generator too weak", localized)
+	}
+}

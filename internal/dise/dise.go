@@ -1,0 +1,82 @@
+package dise
+
+import (
+	"fmt"
+
+	"dise/internal/cfg"
+	"dise/internal/diff"
+	"dise/internal/lang/ast"
+	"dise/internal/symexec"
+)
+
+// Result bundles everything DiSE computes for a pair of program versions.
+type Result struct {
+	// Diff is the statement-level differential analysis.
+	Diff *diff.Result
+	// BaseGraph and ModGraph are the two CFGs.
+	BaseGraph, ModGraph *cfg.Graph
+	// Affected holds the ACN/AWN sets over ModGraph.
+	Affected *Affected
+	// Summary contains the affected path conditions and cost counters of the
+	// directed symbolic execution on the modified version.
+	Summary *symexec.Summary
+	// Prune reports directed-search statistics.
+	Prune PruneStats
+}
+
+// Analyze runs the complete DiSE pipeline on two versions of procedure
+// procName: diff → affected locations → directed symbolic execution. The
+// returned result contains the affected path conditions of the modified
+// version. Per the paper (§3.1), the only inputs are the two program
+// versions; no state from previous analysis runs is required.
+func Analyze(baseProg, modProg *ast.Program, procName string, config symexec.Config) (*Result, error) {
+	return AnalyzeOpts(baseProg, modProg, procName, config, Options{})
+}
+
+// AnalyzeOpts is Analyze with explicit affected-set options (ablations).
+func AnalyzeOpts(baseProg, modProg *ast.Program, procName string, config symexec.Config, opts Options) (*Result, error) {
+	baseProc := baseProg.Proc(procName)
+	if baseProc == nil {
+		return nil, fmt.Errorf("dise: procedure %q not found in base program", procName)
+	}
+	// The engine is built on the modified program; it owns the mod CFG.
+	engine, err := symexec.New(modProg, procName, config)
+	if err != nil {
+		return nil, err
+	}
+	baseGraph := cfg.Build(baseProc)
+	d := diff.Procedures(baseProc, engine.Proc)
+	affected := ComputeAffected(baseGraph, engine.Graph, d, opts)
+	runner := NewRunner(engine, affected)
+	summary := runner.Run()
+	return &Result{
+		Diff:      d,
+		BaseGraph: baseGraph,
+		ModGraph:  engine.Graph,
+		Affected:  affected,
+		Summary:   summary,
+		Prune:     runner.PruneStats,
+	}, nil
+}
+
+// AffectedSequence projects a trace onto the affected nodes, the object of
+// Theorem 3.10: the sequence of affected node IDs visited by a path.
+func (a *Affected) AffectedSequence(trace []int) []int {
+	var out []int
+	for _, id := range trace {
+		if a.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SequenceKey renders an affected sequence as a comparable string.
+func SequenceKey(seq []int) string {
+	key := make([]byte, 0, len(seq)*3)
+	for _, id := range seq {
+		key = append(key, byte('n'))
+		key = fmt.Appendf(key, "%d.", id)
+	}
+	return string(key)
+}

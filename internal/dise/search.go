@@ -1,0 +1,251 @@
+package dise
+
+import (
+	"time"
+
+	"dise/internal/cfg"
+	"dise/internal/symexec"
+)
+
+// This file implements phase 2 of DiSE: the directed symbolic execution of
+// Fig. 6 in the paper. Exploration proceeds depth-first on the modified
+// program. Four global sets — ExCond/ExWrite (explored affected nodes) and
+// UnExCond/UnExWrite (affected nodes still to be explored) — steer the
+// search: a successor state is explored only if some unexplored affected
+// node is reachable from it (AffectedLocIsReachable); when exploration moves
+// past a node from which previously-explored affected nodes are reachable
+// again on a new path, those nodes are reset to unexplored so every sequence
+// of affected nodes gets covered (ResetUnExploredSet); loop SCCs are reset
+// wholesale at loop entries (CheckLoops).
+
+// Runner executes the directed search over a symbolic execution engine for
+// the modified program version.
+type Runner struct {
+	Engine   *symexec.Engine
+	Affected *Affected
+
+	exCond    map[int]bool
+	exWrite   map[int]bool
+	unExCond  map[int]bool
+	unExWrite map[int]bool
+
+	// PruneStats counts directed-search-specific events.
+	PruneStats PruneStats
+}
+
+// PruneStats reports how much work the directed search avoided or discarded.
+type PruneStats struct {
+	// PrunedStates counts generated successor states rejected by
+	// AffectedLocIsReachable.
+	PrunedStates int
+	// UnaffectedPaths counts explored paths that never touched an affected
+	// node (possible when infeasible branches consume the targets the path
+	// was steering toward); they are not part of DiSE's output.
+	UnaffectedPaths int
+	// Resets counts explored→unexplored transitions.
+	Resets int
+}
+
+// NewRunner prepares a directed search. The engine must execute the modified
+// version of the procedure whose CFG the affected sets were computed on.
+func NewRunner(engine *symexec.Engine, affected *Affected) *Runner {
+	r := &Runner{
+		Engine:    engine,
+		Affected:  affected,
+		exCond:    map[int]bool{},
+		exWrite:   map[int]bool{},
+		unExCond:  map[int]bool{},
+		unExWrite: map[int]bool{},
+	}
+	for id := range affected.ACN {
+		r.unExCond[id] = true
+	}
+	for id := range affected.AWN {
+		r.unExWrite[id] = true
+	}
+	return r
+}
+
+// Run performs the directed symbolic execution and returns the summary of
+// affected path conditions.
+func (r *Runner) Run() *symexec.Summary {
+	start := time.Now()
+	summary := &symexec.Summary{}
+	r.dise(r.Engine.InitialState(), summary)
+	stats := r.Engine.Stats()
+	stats.Time = time.Since(start)
+	summary.Stats = stats
+	return summary
+}
+
+// dise is the DiSE procedure of Fig. 6.
+func (r *Runner) dise(s *symexec.State, summary *symexec.Summary) {
+	// Line 5: depth bound and error handling. Error states correspond to
+	// assertion violations (§5.1); we record them so DiSE supports bug
+	// finding, then stop exploring the path.
+	if s.Depth > r.Engine.DepthBound() {
+		return
+	}
+	if s.Node.Kind == cfg.KindError {
+		r.collect(s, summary)
+		return
+	}
+	// Lines 6–7: map the state to its CFG node and mark it explored.
+	r.updateExploredSet(s.Node.ID)
+	// Lines 8–10: explore successors whose paths can still reach unexplored
+	// affected nodes.
+	step := r.Engine.Step(s)
+	// Branch targets proven infeasible count as explored: the executor
+	// reached the target instruction even though no state continues through
+	// it. Without this, an affected node behind an infeasible branch stays
+	// "unexplored" forever and attracts exploration of unaffected variants,
+	// inflating DiSE's output beyond the paper's numbers (§2.2 reports
+	// exactly 7 path conditions for the motivating example, which requires
+	// the infeasible PedalCmd == 2 arms to stop attracting the search).
+	//
+	// Note the known incompleteness this inherits from the published
+	// algorithm: a node consumed here may be feasible under a different
+	// path prefix, and if the search later reaches that prefix with no
+	// unexplored affected node in sight (no "beacon" to trigger the reset
+	// machinery of lines 21–23), the new sequence is pruned. The paper's
+	// Theorem 3.10 idealizes this away; the randomized property test
+	// quantifies it (DESIGN.md §6.5).
+	for _, t := range step.InfeasibleTargets {
+		r.updateExploredSet(t.ID)
+	}
+	explored := false
+	for _, si := range step.Feasible {
+		switch {
+		case si.Node.Kind == cfg.KindError:
+			// Assertion-violation successor (§5.1): always report; a change
+			// that makes an assertion violable must not be pruned away by
+			// the reachability filter.
+			explored = true
+			r.collect(si, summary)
+		case r.affectedLocIsReachable(si):
+			explored = true
+			r.dise(si, summary)
+		default:
+			r.PruneStats.PrunedStates++
+		}
+	}
+	// A state with no explored successors terminates a maximal explored
+	// path: its path condition is complete with respect to the affected
+	// nodes (every affected node the path could reach has been covered), so
+	// it is emitted — unless the path never touched an affected conditional,
+	// in which case its path condition is unaffected by the change and DiSE
+	// does not report it.
+	if !explored {
+		if !r.Engine.Terminal(s) && s.Depth >= r.Engine.DepthBound() {
+			// Depth-bounded, incomplete path: dropped, as in SPF.
+			return
+		}
+		r.collect(s, summary)
+	}
+}
+
+// collect emits the path ending at s if it covers at least one affected
+// node: affected conditionals contribute constraints directly, and affected
+// writes "indirectly lead to the generation of affected path conditions"
+// (§3.1) — a path explored to cover an affected write is reported even when
+// no conditional is affected (cf. WBS v4 in the paper's Table 2, which has
+// no affected nodes beyond the changed write yet one path condition). The
+// node of s itself was visited (UpdateExploredSet ran on it), so it is part
+// of the emitted trace even though it has not produced successors.
+func (r *Runner) collect(s *symexec.State, summary *symexec.Summary) {
+	trace := s.Trace
+	switch s.Node.Kind {
+	case cfg.KindCond, cfg.KindWrite, cfg.KindNop:
+		trace = append(append([]int{}, s.Trace...), s.Node.ID)
+	}
+	affected := false
+	for _, id := range trace {
+		if r.Affected.Contains(id) {
+			affected = true
+			break
+		}
+	}
+	if !affected {
+		r.PruneStats.UnaffectedPaths++
+		return
+	}
+	adjusted := *s
+	adjusted.Trace = trace
+	summary.Paths = append(summary.Paths, r.Engine.Collect(&adjusted))
+}
+
+// updateExploredSet is UpdateExploredSet of Fig. 6 (lines 30–35).
+func (r *Runner) updateExploredSet(id int) {
+	if r.unExWrite[id] {
+		delete(r.unExWrite, id)
+		r.exWrite[id] = true
+	}
+	if r.unExCond[id] {
+		delete(r.unExCond, id)
+		r.exCond[id] = true
+	}
+}
+
+// resetUnExploredSet is ResetUnExploredSet of Fig. 6 (lines 37–42).
+func (r *Runner) resetUnExploredSet(id int) {
+	if r.exWrite[id] {
+		delete(r.exWrite, id)
+		r.unExWrite[id] = true
+		r.PruneStats.Resets++
+	}
+	if r.exCond[id] {
+		delete(r.exCond, id)
+		r.unExCond[id] = true
+		r.PruneStats.Resets++
+	}
+}
+
+// affectedLocIsReachable is AffectedLocIsReachable of Fig. 6 (lines 13–24):
+// it reports whether some unexplored affected node is reachable from the
+// state's CFG node, resetting explored nodes that are reachable from such an
+// unexplored node so that new sequences of affected nodes get explored.
+func (r *Runner) affectedLocIsReachable(si *symexec.State) bool {
+	g := r.Engine.Graph
+	ni := si.Node
+	r.checkLoops(ni)
+	// Snapshot the sets (lines 16–17): the reset loop mutates them.
+	unExplored := keys(r.unExWrite, r.unExCond)
+	explored := keys(r.exWrite, r.exCond)
+	isReachable := false
+	for _, nj := range unExplored {
+		if !g.Reaches(ni.ID, nj) {
+			continue
+		}
+		isReachable = true
+		for _, nk := range explored {
+			if !g.Reaches(nj, nk) {
+				continue
+			}
+			r.resetUnExploredSet(nk)
+		}
+	}
+	return isReachable
+}
+
+// checkLoops is CheckLoops of Fig. 6 (lines 26–28): entering a loop resets
+// every affected node of the loop's strongly connected component so that
+// sequences of affected nodes across iterations are explored.
+func (r *Runner) checkLoops(n *cfg.Node) {
+	g := r.Engine.Graph
+	if !g.IsLoopEntryNode(n) {
+		return
+	}
+	for _, m := range g.GetSCC(n) {
+		r.resetUnExploredSet(m.ID)
+	}
+}
+
+func keys(sets ...map[int]bool) []int {
+	var out []int
+	for _, set := range sets {
+		for id := range set {
+			out = append(out, id)
+		}
+	}
+	return out
+}

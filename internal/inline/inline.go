@@ -1,0 +1,228 @@
+// Package inline expands procedure calls, turning a multi-procedure program
+// into a single self-contained procedure that the intra-procedural DiSE
+// pipeline can analyze.
+//
+// This realizes the paper's §7 future work ("extend DiSE to use an
+// inter-procedural analysis to generate affected path conditions over the
+// entire system") for non-recursive call graphs: after inlining, a change
+// inside a callee flows into the caller's conditionals through the ordinary
+// Eq. (1)–(4) rules, including effects through globals and parameters.
+//
+// Expansion of a call f(a1, ..., an):
+//
+//  1. a prologue assigns each argument to a fresh instance-local parameter
+//     variable f$k$x (rendered f_k_x), where k numbers the inline instance;
+//  2. the callee body follows, with every reference to a parameter or local
+//     of f renamed to its f_k_ form; globals are left untouched, so effects
+//     flow back to the caller exactly as in the original program.
+//
+// Restrictions (checked): the call graph must be acyclic (enforced by the
+// type checker) and callee bodies must not contain return statements (a
+// return inside an inlined body would need a jump past the remainder).
+package inline
+
+import (
+	"fmt"
+
+	"dise/internal/lang/ast"
+)
+
+// Program returns a copy of prog in which the body of procedure entryName
+// has every call expanded, as a single-procedure program. The original
+// program is not modified.
+func Program(prog *ast.Program, entryName string) (*ast.Program, error) {
+	entry := prog.Proc(entryName)
+	if entry == nil {
+		return nil, fmt.Errorf("inline: procedure %q not found", entryName)
+	}
+	ix := &inliner{prog: prog}
+	body, err := ix.expandBlock(entry.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := &ast.Program{}
+	for _, g := range prog.Globals {
+		out.Globals = append(out.Globals, &ast.Global{
+			Name: g.Name, Type: g.Type, Init: ast.CloneExpr(g.Init), TokPos: g.TokPos,
+		})
+	}
+	flat := &ast.Procedure{Name: entry.Name, Body: body, TokPos: entry.TokPos}
+	flat.Params = append(flat.Params, entry.Params...)
+	out.Procs = append(out.Procs, flat)
+	return out, nil
+}
+
+type inliner struct {
+	prog *ast.Program
+	// instances counts inline expansions, giving each a unique variable
+	// prefix. Deterministic (depth-first, program order), so two versions
+	// of a program inline to comparable forms for the diff.
+	instances int
+}
+
+// expandBlock deep-copies a block, expanding calls.
+func (ix *inliner) expandBlock(b *ast.Block) (*ast.Block, error) {
+	out := &ast.Block{TokPos: b.TokPos}
+	for _, s := range b.Stmts {
+		expanded, err := ix.expandStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, expanded...)
+	}
+	return out, nil
+}
+
+func (ix *inliner) expandStmt(s ast.Stmt) ([]ast.Stmt, error) {
+	switch s := s.(type) {
+	case *ast.Call:
+		return ix.expandCall(s)
+	case *ast.If:
+		then, err := ix.expandBlock(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		cp := &ast.If{Cond: ast.CloneExpr(s.Cond), Then: then, TokPos: s.TokPos}
+		if s.Else != nil {
+			if cp.Else, err = ix.expandBlock(s.Else); err != nil {
+				return nil, err
+			}
+		}
+		return []ast.Stmt{cp}, nil
+	case *ast.While:
+		body, err := ix.expandBlock(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{&ast.While{Cond: ast.CloneExpr(s.Cond), Body: body, TokPos: s.TokPos}}, nil
+	case *ast.Block:
+		blk, err := ix.expandBlock(s)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{blk}, nil
+	default:
+		return []ast.Stmt{ast.CloneStmt(s)}, nil
+	}
+}
+
+// expandCall produces the prologue + renamed callee body for one call site,
+// recursively expanding the callee's own calls.
+func (ix *inliner) expandCall(call *ast.Call) ([]ast.Stmt, error) {
+	callee := ix.prog.Proc(call.Callee)
+	if callee == nil {
+		return nil, fmt.Errorf("inline: call to undefined procedure %q", call.Callee)
+	}
+	if len(call.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("inline: call to %q has %d arguments, want %d",
+			call.Callee, len(call.Args), len(callee.Params))
+	}
+	ix.instances++
+	prefix := fmt.Sprintf("%s_%d_", callee.Name, ix.instances)
+
+	// Rename set: parameters plus assigned locals (assigned names that are
+	// not globals).
+	globals := map[string]bool{}
+	for _, g := range ix.prog.Globals {
+		globals[g.Name] = true
+	}
+	rename := map[string]string{}
+	for _, p := range callee.Params {
+		rename[p.Name] = prefix + p.Name
+	}
+	ast.Walk(callee.Body.Stmts, func(st ast.Stmt) {
+		if a, ok := st.(*ast.Assign); ok && !globals[a.Name] {
+			if _, isParam := rename[a.Name]; !isParam {
+				rename[a.Name] = prefix + a.Name
+			}
+		}
+	})
+
+	// Reject returns inside the callee: correct expansion would need a jump
+	// past the rest of the inlined body.
+	var retErr error
+	ast.Walk(callee.Body.Stmts, func(st ast.Stmt) {
+		if _, ok := st.(*ast.Return); ok && retErr == nil {
+			retErr = fmt.Errorf("inline: procedure %q contains a return statement; inlining requires single-exit callees", callee.Name)
+		}
+	})
+	if retErr != nil {
+		return nil, retErr
+	}
+
+	// Prologue: bind arguments to the instance parameters, preserving the
+	// call site's source position so diffs attribute the binding to the
+	// call statement.
+	var out []ast.Stmt
+	for i, p := range callee.Params {
+		out = append(out, &ast.Assign{
+			Name:   rename[p.Name],
+			Value:  ast.CloneExpr(call.Args[i]),
+			TokPos: call.TokPos,
+		})
+	}
+	// Body: renamed copy, then recursively expanded.
+	renamed := renameBlock(callee.Body, rename)
+	expanded, err := ix.expandBlock(renamed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, expanded.Stmts...)
+	return out, nil
+}
+
+// renameBlock deep-copies a block, substituting variable names.
+func renameBlock(b *ast.Block, rename map[string]string) *ast.Block {
+	out := &ast.Block{TokPos: b.TokPos}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, renameStmt(s, rename))
+	}
+	return out
+}
+
+func renameStmt(s ast.Stmt, rename map[string]string) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.Assign:
+		name := s.Name
+		if r, ok := rename[name]; ok {
+			name = r
+		}
+		return &ast.Assign{Name: name, Value: renameExpr(s.Value, rename), TokPos: s.TokPos}
+	case *ast.If:
+		cp := &ast.If{Cond: renameExpr(s.Cond, rename), Then: renameBlock(s.Then, rename), TokPos: s.TokPos}
+		if s.Else != nil {
+			cp.Else = renameBlock(s.Else, rename)
+		}
+		return cp
+	case *ast.While:
+		return &ast.While{Cond: renameExpr(s.Cond, rename), Body: renameBlock(s.Body, rename), TokPos: s.TokPos}
+	case *ast.Assert:
+		return &ast.Assert{Cond: renameExpr(s.Cond, rename), TokPos: s.TokPos}
+	case *ast.Call:
+		cp := &ast.Call{Callee: s.Callee, TokPos: s.TokPos}
+		for _, a := range s.Args {
+			cp.Args = append(cp.Args, renameExpr(a, rename))
+		}
+		return cp
+	case *ast.Block:
+		return renameBlock(s, rename)
+	default:
+		return ast.CloneStmt(s)
+	}
+}
+
+func renameExpr(e ast.Expr, rename map[string]string) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if r, ok := rename[e.Name]; ok {
+			return &ast.Ident{Name: r, TokPos: e.TokPos}
+		}
+		return &ast.Ident{Name: e.Name, TokPos: e.TokPos}
+	case *ast.Unary:
+		return &ast.Unary{Op: e.Op, X: renameExpr(e.X, rename), TokPos: e.TokPos}
+	case *ast.Binary:
+		return &ast.Binary{Op: e.Op, L: renameExpr(e.L, rename), R: renameExpr(e.R, rename)}
+	default:
+		return ast.CloneExpr(e)
+	}
+}

@@ -1,0 +1,206 @@
+// Package lexer implements the scanner for the mini-language.
+//
+// The scanner is a conventional hand-written single-pass lexer. It supports
+// line comments introduced by "//" and block comments delimited by "/*" and
+// "*/"; both are skipped. Positions are tracked as 1-based line:column pairs
+// so that CFG nodes can later be labeled with the source line, mirroring the
+// presentation in the DiSE paper where nodes carry source line numbers.
+package lexer
+
+import (
+	"fmt"
+
+	"dise/internal/lang/token"
+)
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread character
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// peek returns the next character without consuming it, or 0 at EOF.
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// peek2 returns the character after next, or 0.
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+// advance consumes one character, maintaining line/column bookkeeping.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// skipWhitespaceAndComments consumes spaces and comments before a token.
+func (l *Lexer) skipWhitespaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// Next scans and returns the next token. At end of input it returns EOF
+// tokens forever.
+func (l *Lexer) Next() token.Token {
+	l.skipWhitespaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kind, ok := token.Keywords[word]; ok {
+			return token.Token{Kind: kind, Lit: word, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: word, Pos: pos}
+	}
+
+	two := func(second byte, withKind, withoutKind token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: withKind, Pos: pos}
+		}
+		return token.Token{Kind: withoutKind, Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean %q?)", "&", "&&")
+		return token.Token{Kind: token.ILLEGAL, Lit: "&", Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean %q?)", "|", "||")
+		return token.Token{Kind: token.ILLEGAL, Lit: "|", Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// ScanAll scans the whole input and returns all tokens up to and including
+// the terminating EOF token.
+func ScanAll(src string) ([]token.Token, []error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

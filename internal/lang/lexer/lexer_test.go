@@ -1,0 +1,157 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"dise/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanOperators(t *testing.T) {
+	src := "+ - * / % = == != < <= > >= && || ! ( ) { } , ;"
+	toks, errs := ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE,
+		token.LAND, token.LOR, token.NOT,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.COMMA, token.SEMICOLON,
+		token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	src := "int bool if else while proc assert skip return true false PedalPos x_1"
+	toks, errs := ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KWINT, token.KWBOOL, token.KWIF, token.KWELSE, token.KWWHILE,
+		token.KWPROC, token.KWASSERT, token.KWSKIP, token.KWRETURN,
+		token.TRUE, token.FALSE, token.IDENT, token.IDENT, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[11].Lit != "PedalPos" {
+		t.Errorf("ident literal = %q, want PedalPos", toks[11].Lit)
+	}
+}
+
+func TestScanIntLiterals(t *testing.T) {
+	toks, errs := ScanAll("0 42 123456")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	wantLits := []string{"0", "42", "123456"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("token %d = %v, want INT(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	src := "x = 1;\n  y = 2;"
+	toks, _ := ScanAll(src)
+	// x at 1:1, y at 2:3.
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Errorf("x pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[4].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Errorf("y pos = %v, want 2:3; toks=%v", toks[4].Pos, toks)
+	}
+}
+
+func TestScanLineComment(t *testing.T) {
+	toks, errs := ScanAll("x // this is x\ny")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Lit != "x" || toks[1].Lit != "y" {
+		t.Fatalf("tokens = %v, want x y EOF", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Errorf("y line = %d, want 2", toks[1].Pos.Line)
+	}
+}
+
+func TestScanBlockComment(t *testing.T) {
+	toks, errs := ScanAll("x /* multi\nline */ y")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[1].Lit != "y" {
+		t.Fatalf("tokens = %v, want x y EOF", toks)
+	}
+}
+
+func TestScanUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("x /* never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected error for unterminated block comment")
+	}
+	if !strings.Contains(errs[0].Error(), "unterminated") {
+		t.Errorf("error = %v, want mention of unterminated comment", errs[0])
+	}
+}
+
+func TestScanIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "&", "|", "~"} {
+		toks, errs := ScanAll(src)
+		if len(errs) == 0 {
+			t.Errorf("ScanAll(%q): expected error", src)
+		}
+		if toks[0].Kind != token.ILLEGAL {
+			t.Errorf("ScanAll(%q): kind = %v, want ILLEGAL", src, toks[0].Kind)
+		}
+	}
+}
+
+func TestScanEOFIsSticky(t *testing.T) {
+	l := New("x")
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %v, want EOF", tok)
+		}
+	}
+}
+
+func TestScanAdjacentOperators(t *testing.T) {
+	// "<=" must scan as LE, not LT ASSIGN; "==" as EQ, not two ASSIGN.
+	toks, errs := ScanAll("a<=b==c!=d")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{token.IDENT, token.LE, token.IDENT, token.EQ, token.IDENT, token.NEQ, token.IDENT, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package token defines the lexical tokens of the mini-language analyzed by
+// DiSE, together with source positions.
+//
+// The language is a small Java-like imperative language: int and bool types,
+// global variable declarations, procedures, assignments, if/else, while,
+// assert, and expressions over linear integer arithmetic and booleans. It is
+// deliberately close to the subset of Java exercised by the artifacts in the
+// DiSE paper (PLDI 2011): synchronous reactive controllers made of nested
+// conditionals over integer sensor inputs.
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds.
+type Kind int
+
+// Token kinds. The order within the operator block matters only for
+// compactness; parsing precedence is handled by the parser.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT // update, PedalPos, x
+	INT   // 123
+	TRUE  // true
+	FALSE // false
+
+	// Operators and punctuation.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	ASSIGN // =
+	EQ     // ==
+	NEQ    // !=
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	COMMA     // ,
+	SEMICOLON // ;
+
+	// Keywords.
+	KWINT    // int
+	KWBOOL   // bool
+	KWIF     // if
+	KWELSE   // else
+	KWWHILE  // while
+	KWPROC   // proc
+	KWASSERT // assert
+	KWSKIP   // skip
+	KWRETURN // return
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:   "ILLEGAL",
+	EOF:       "EOF",
+	IDENT:     "IDENT",
+	INT:       "INT",
+	TRUE:      "true",
+	FALSE:     "false",
+	PLUS:      "+",
+	MINUS:     "-",
+	STAR:      "*",
+	SLASH:     "/",
+	PERCENT:   "%",
+	ASSIGN:    "=",
+	EQ:        "==",
+	NEQ:       "!=",
+	LT:        "<",
+	LE:        "<=",
+	GT:        ">",
+	GE:        ">=",
+	LAND:      "&&",
+	LOR:       "||",
+	NOT:       "!",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	KWINT:     "int",
+	KWBOOL:    "bool",
+	KWIF:      "if",
+	KWELSE:    "else",
+	KWWHILE:   "while",
+	KWPROC:    "proc",
+	KWASSERT:  "assert",
+	KWSKIP:    "skip",
+	KWRETURN:  "return",
+}
+
+// String returns the canonical spelling of the token kind (or its name for
+// kinds without fixed spelling, like IDENT).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int":    KWINT,
+	"bool":   KWBOOL,
+	"if":     KWIF,
+	"else":   KWELSE,
+	"while":  KWWHILE,
+	"proc":   KWPROC,
+	"assert": KWASSERT,
+	"skip":   KWSKIP,
+	"return": KWRETURN,
+	"true":   TRUE,
+	"false":  FALSE,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Before reports whether p appears strictly before q in the source.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+// Token is a single lexical token with its source position and spelling.
+type Token struct {
+	Kind Kind
+	Lit  string // original spelling for IDENT and INT; empty otherwise
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsComparison reports whether the kind is a comparison operator.
+func (k Kind) IsComparison() bool {
+	switch k {
+	case EQ, NEQ, LT, LE, GT, GE:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether the kind is an arithmetic operator.
+func (k Kind) IsArith() bool {
+	switch k {
+	case PLUS, MINUS, STAR, SLASH, PERCENT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	tests := map[Kind]string{
+		EOF:     "EOF",
+		IDENT:   "IDENT",
+		INT:     "INT",
+		PLUS:    "+",
+		LE:      "<=",
+		EQ:      "==",
+		NEQ:     "!=",
+		LAND:    "&&",
+		LOR:     "||",
+		KWPROC:  "proc",
+		KWWHILE: "while",
+		TRUE:    "true",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(999).String(); got != "Kind(999)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for word, kind := range Keywords {
+		if kind.String() != word && kind != TRUE && kind != FALSE {
+			t.Errorf("keyword %q maps to kind %v with spelling %q", word, kind, kind.String())
+		}
+	}
+	if Keywords["proc"] != KWPROC || Keywords["assert"] != KWASSERT {
+		t.Error("keyword lookups broken")
+	}
+	if _, ok := Keywords["function"]; ok {
+		t.Error("non-keyword present in table")
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	a := Pos{Line: 1, Col: 5}
+	b := Pos{Line: 1, Col: 9}
+	c := Pos{Line: 2, Col: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) {
+		t.Error("Before ordering wrong")
+	}
+	if b.Before(a) || c.Before(a) {
+		t.Error("Before must not be symmetric")
+	}
+	if a.Before(a) {
+		t.Error("Before must be irreflexive")
+	}
+	if a.String() != "1:5" {
+		t.Errorf("Pos.String = %q", a.String())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if !a.IsValid() {
+		t.Error("set Pos must be valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Lit: "x"}, `IDENT("x")`},
+		{Token{Kind: INT, Lit: "42"}, `INT("42")`},
+		{Token{Kind: LE}, "<="},
+		{Token{Kind: ILLEGAL, Lit: "@"}, `ILLEGAL("@")`},
+	}
+	for _, tt := range tests {
+		if got := tt.tok.String(); got != tt.want {
+			t.Errorf("Token.String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestOperatorClassification(t *testing.T) {
+	for _, k := range []Kind{EQ, NEQ, LT, LE, GT, GE} {
+		if !k.IsComparison() {
+			t.Errorf("%v must be a comparison", k)
+		}
+		if k.IsArith() {
+			t.Errorf("%v must not be arithmetic", k)
+		}
+	}
+	for _, k := range []Kind{PLUS, MINUS, STAR, SLASH, PERCENT} {
+		if !k.IsArith() {
+			t.Errorf("%v must be arithmetic", k)
+		}
+		if k.IsComparison() {
+			t.Errorf("%v must not be a comparison", k)
+		}
+	}
+	if ASSIGN.IsComparison() || LAND.IsArith() {
+		t.Error("misclassified operators")
+	}
+}

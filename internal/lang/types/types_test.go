@@ -1,0 +1,130 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestCheckValidProgram(t *testing.T) {
+	src := `
+int G = 5;
+bool Flag = true;
+proc p(int x, bool b) {
+	y = x + G;
+	if (b && y > 0) {
+		Flag = false;
+	}
+	while (y < 10) {
+		y = y + 1;
+	}
+	assert y >= 0;
+}`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	vars := info.VarTypes("p")
+	want := map[string]ast.Type{
+		"G": ast.TypeInt, "Flag": ast.TypeBool,
+		"x": ast.TypeInt, "b": ast.TypeBool, "y": ast.TypeInt,
+	}
+	for name, typ := range want {
+		if vars[name] != typ {
+			t.Errorf("type of %s = %v, want %v", name, vars[name], typ)
+		}
+	}
+}
+
+func TestCheckLocalBoolInference(t *testing.T) {
+	src := `proc p(int x) {
+		ok = x > 0;
+		if (ok) { x = 1; }
+	}`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if got := info.VarTypes("p")["ok"]; got != ast.TypeBool {
+		t.Errorf("type of ok = %v, want bool", got)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantErr string
+	}{
+		{"undefined variable", "proc p() { x = y + 1; }", `undefined variable "y"`},
+		{"int condition", "proc p(int x) { if (x) { skip; } }", "condition must be bool"},
+		{"bool arithmetic", "proc p(bool b) { x = b + 1; }", "requires int operands"},
+		{"assign bool to int", "proc p(int x, bool b) { x = b && b; }", "cannot assign bool"},
+		{"mixed equality", "proc p(int x, bool b) { c = x == b; }", "matching operand types"},
+		{"not on int", "proc p(int x) { b = !x; }", "requires bool"},
+		{"neg on bool", "proc p(bool b) { c = -b; }", "requires int"},
+		{"and on ints", "proc p(int x) { b = x && x; }", "requires bool operands"},
+		{"cmp on bools", "proc p(bool b) { c = b < b; }", "requires int operands"},
+		{"duplicate global", "int G = 1; int G = 2; proc p() { skip; }", "duplicate global"},
+		{"duplicate proc", "proc p() { skip; } proc p() { skip; }", "duplicate procedure"},
+		{"param shadows global", "int x = 1; proc p(int x) { skip; }", "shadows"},
+		{"bad global init type", "int G = true; proc p() { skip; }", "initialized with bool literal"},
+		{"global init not literal", "int G = 1 + 2; proc p() { skip; }", "must be a literal"},
+		{"assert int", "proc p(int x) { assert x + 1; }", "condition must be bool"},
+		{"while int", "proc p(int x) { while (x) { skip; } }", "condition must be bool"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Check(mustParse(t, tt.src))
+			if err == nil {
+				t.Fatalf("Check(%q): expected error containing %q", tt.src, tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckUseBeforeAssignInLoop(t *testing.T) {
+	// i is read in the loop condition before its first textual assignment in
+	// the body — local inference must still type it.
+	src := `proc p(int n) {
+		i = 0;
+		sum = 0;
+		while (i < n) {
+			sum = sum + i;
+			i = i + 1;
+		}
+	}`
+	if _, err := Check(mustParse(t, src)); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestCheckMultipleProcs(t *testing.T) {
+	src := `
+int G = 0;
+proc a(int x) { G = x; }
+proc b(bool f) { if (f) { G = 1; } }
+`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if info.VarTypes("a")["x"] != ast.TypeInt {
+		t.Error("proc a param x should be int")
+	}
+	if info.VarTypes("b")["f"] != ast.TypeBool {
+		t.Error("proc b param f should be bool")
+	}
+}

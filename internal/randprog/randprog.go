@@ -1,0 +1,293 @@
+// Package randprog generates random loop-free mini-language programs and
+// random mutations of them, in the style of the paper's mutant methodology
+// (§4.2.1): operator mutations, operand mutations, constant mutations, and
+// statement additions/removals, applied at varying depths in the control
+// structure.
+//
+// It exists to property-test the DiSE pipeline: for arbitrary (base, mod)
+// pairs the directed search must cover exactly the affected-node sequences
+// that full symbolic execution discovers (Theorem 3.10), must never emit
+// duplicates, and must never explore more states than full symbolic
+// execution by more than the bookkeeping overhead.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+	"dise/internal/lang/token"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	// Params is the number of int parameters (symbolic inputs); default 3.
+	Params int
+	// MaxStmts bounds the statement count of each block; default 6.
+	MaxStmts int
+	// MaxDepth bounds if-nesting; default 3.
+	MaxDepth int
+	// Loops enables bounded while loops (a counter running to a small
+	// constant, with a conditional body over symbolic variables). Off by
+	// default: the Theorem 3.10 property tests mirror the paper's loop-free
+	// evaluation; the loop-mode tests use this flag.
+	Loops bool
+}
+
+func (c *Config) defaults() {
+	if c.Params == 0 {
+		c.Params = 3
+	}
+	if c.MaxStmts == 0 {
+		c.MaxStmts = 6
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+}
+
+// Generator produces random programs and mutations from a seeded source.
+type Generator struct {
+	rng *rand.Rand
+	cfg Config
+	// loopCount numbers loop counters globally so nested and sibling loops
+	// never share a counter variable.
+	loopCount int
+}
+
+// New returns a Generator with the given seed.
+func New(seed int64, cfg Config) *Generator {
+	cfg.defaults()
+	return &Generator{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Program generates a random loop-free program with one procedure "p". The
+// program always type-checks and every variable is assigned before use.
+func (g *Generator) Program() *ast.Program {
+	src := g.Source()
+	return parser.MustParse(src)
+}
+
+// Source generates the program as source text (useful for debugging: failed
+// property tests print the text).
+func (g *Generator) Source() string {
+	var params []string
+	var vars []string
+	for i := 0; i < g.cfg.Params; i++ {
+		name := fmt.Sprintf("p%d", i)
+		params = append(params, "int "+name)
+		vars = append(vars, name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc p(%s) {\n", strings.Join(params, ", "))
+	g.block(&b, 1, &vars, g.cfg.MaxDepth)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// block emits 1..MaxStmts statements, mutating the defined-variable list as
+// assignments introduce locals. Variables introduced inside branches are
+// visible afterwards only for further assignment (the type checker infers
+// them program-wide), but to keep every read well-defined on every path we
+// only read variables from the defined set at this point.
+func (g *Generator) block(b *strings.Builder, depth int, vars *[]string, budget int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	indent := strings.Repeat("  ", depth)
+	for i := 0; i < n; i++ {
+		if g.cfg.Loops && budget > 0 && g.rng.Intn(6) == 0 {
+			// Bounded loop: counter to a small constant, so path explosion
+			// stays manageable; the body branches on symbolic state so the
+			// loop is still interesting to the directed search.
+			counter := fmt.Sprintf("it%d", g.loopCount)
+			g.loopCount++
+			bound := 1 + g.rng.Intn(3)
+			fmt.Fprintf(b, "%s%s = 0;\n", indent, counter)
+			fmt.Fprintf(b, "%swhile (%s < %d) {\n", indent, counter, bound)
+			// The counter is deliberately kept out of the body's variable
+			// pool so generated statements never overwrite it: loops always
+			// terminate within the constant bound.
+			bodyVars := append([]string{}, *vars...)
+			g.block(b, depth+1, &bodyVars, budget-1)
+			fmt.Fprintf(b, "%s  %s = %s + 1;\n", indent, counter, counter)
+			fmt.Fprintf(b, "%s}\n", indent)
+			continue
+		}
+		if budget > 0 && g.rng.Intn(3) == 0 {
+			// Nested conditional. Branch bodies may define new locals, but
+			// those stay out of the outer defined set.
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, g.cond(*vars))
+			thenVars := append([]string{}, *vars...)
+			g.block(b, depth+1, &thenVars, budget-1)
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				elseVars := append([]string{}, *vars...)
+				g.block(b, depth+1, &elseVars, budget-1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+			continue
+		}
+		// Assignment: target is a fresh local or an existing variable.
+		target := g.freshOrExisting(vars)
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, target, g.intExpr(*vars))
+	}
+}
+
+func (g *Generator) freshOrExisting(vars *[]string) string {
+	if g.rng.Intn(3) == 0 {
+		name := fmt.Sprintf("v%d", len(*vars))
+		*vars = append(*vars, name)
+		return name
+	}
+	return (*vars)[g.rng.Intn(len(*vars))]
+}
+
+// cond generates a comparison over defined variables and small constants.
+func (g *Generator) cond(vars []string) string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	op := ops[g.rng.Intn(len(ops))]
+	l := vars[g.rng.Intn(len(vars))]
+	if g.rng.Intn(3) == 0 {
+		return fmt.Sprintf("%s %s %s", l, op, vars[g.rng.Intn(len(vars))])
+	}
+	return fmt.Sprintf("%s %s %d", l, op, g.rng.Intn(9))
+}
+
+// intExpr generates a small linear expression over defined variables.
+func (g *Generator) intExpr(vars []string) string {
+	v := vars[g.rng.Intn(len(vars))]
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(9))
+	case 1:
+		return v
+	case 2:
+		return fmt.Sprintf("%s + %d", v, 1+g.rng.Intn(4))
+	default:
+		return fmt.Sprintf("%s + %s", v, vars[g.rng.Intn(len(vars))])
+	}
+}
+
+// Mutate returns a mutated deep copy of prog, applying 1..maxChanges random
+// mutations, and a description of the mutations applied. The result always
+// type-checks. If no mutation site exists (degenerate program), the program
+// is returned unchanged with an empty description.
+func (g *Generator) Mutate(prog *ast.Program, maxChanges int) (*ast.Program, []string) {
+	mutant := ast.CloneProgram(prog)
+	pr := mutant.Procs[0]
+	n := 1 + g.rng.Intn(maxChanges)
+	var applied []string
+	for i := 0; i < n; i++ {
+		if desc := g.mutateOnce(pr); desc != "" {
+			applied = append(applied, desc)
+		}
+	}
+	return mutant, applied
+}
+
+// mutateOnce applies one random mutation to the procedure.
+func (g *Generator) mutateOnce(pr *ast.Procedure) string {
+	// Collect mutation sites.
+	var conds []*ast.Binary
+	var assigns []*ast.Assign
+	var blocks []*ast.Block
+	blocks = append(blocks, pr.Body)
+	ast.Walk(pr.Body.Stmts, func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.If:
+			if c, ok := s.Cond.(*ast.Binary); ok && c.Op.IsComparison() {
+				conds = append(conds, c)
+			}
+			blocks = append(blocks, s.Then)
+			if s.Else != nil {
+				blocks = append(blocks, s.Else)
+			}
+		case *ast.Assign:
+			assigns = append(assigns, s)
+		}
+	})
+
+	switch g.rng.Intn(4) {
+	case 0: // comparison-operator mutation, e.g. == → <= (the paper's example)
+		if len(conds) == 0 {
+			return ""
+		}
+		c := conds[g.rng.Intn(len(conds))]
+		ops := []token.Kind{token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE}
+		old := c.Op
+		for {
+			c.Op = ops[g.rng.Intn(len(ops))]
+			if c.Op != old {
+				break
+			}
+		}
+		return fmt.Sprintf("operator %s -> %s", old, c.Op)
+	case 1: // constant mutation in an assignment RHS
+		if len(assigns) == 0 {
+			return ""
+		}
+		a := assigns[g.rng.Intn(len(assigns))]
+		var lits []*ast.IntLit
+		ast.WalkExpr(a.Value, func(e ast.Expr) {
+			if l, ok := e.(*ast.IntLit); ok {
+				lits = append(lits, l)
+			}
+		})
+		if len(lits) == 0 {
+			// No literal: add one by wrapping the RHS.
+			a.Value = &ast.Binary{Op: token.PLUS, L: a.Value, R: &ast.IntLit{Value: 1}}
+			return "wrap rhs with +1"
+		}
+		l := lits[g.rng.Intn(len(lits))]
+		l.Value += int64(1 + g.rng.Intn(3))
+		return fmt.Sprintf("constant -> %d", l.Value)
+	case 2: // statement addition: assign to an already-defined variable
+		if len(assigns) == 0 {
+			return ""
+		}
+		blk := blocks[g.rng.Intn(len(blocks))]
+		src := assigns[g.rng.Intn(len(assigns))]
+		added := &ast.Assign{
+			Name:  src.Name,
+			Value: &ast.Binary{Op: token.PLUS, L: &ast.Ident{Name: src.Name}, R: &ast.IntLit{Value: 1}},
+		}
+		pos := g.rng.Intn(len(blk.Stmts) + 1)
+		blk.Stmts = append(blk.Stmts[:pos], append([]ast.Stmt{added}, blk.Stmts[pos:]...)...)
+		return fmt.Sprintf("add %s", added)
+	default: // statement removal: only assignments to multiply-assigned vars
+		counts := map[string]int{}
+		for _, a := range assigns {
+			counts[a.Name]++
+		}
+		var candidates []*ast.Assign
+		for _, a := range assigns {
+			// Loop counters (it0, it1, ...) are exempt: removing the
+			// increment would make a generated loop non-terminating.
+			if counts[a.Name] > 1 && !strings.HasPrefix(a.Name, "it") {
+				candidates = append(candidates, a)
+			}
+		}
+		if len(candidates) == 0 {
+			return ""
+		}
+		victim := candidates[g.rng.Intn(len(candidates))]
+		if removeStmt(blocks, victim) {
+			return fmt.Sprintf("remove %s", victim)
+		}
+		return ""
+	}
+}
+
+// removeStmt deletes the statement from whichever block contains it.
+func removeStmt(blocks []*ast.Block, victim ast.Stmt) bool {
+	for _, blk := range blocks {
+		for i, s := range blk.Stmts {
+			if s == victim {
+				blk.Stmts = append(blk.Stmts[:i], blk.Stmts[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}

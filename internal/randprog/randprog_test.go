@@ -1,0 +1,158 @@
+package randprog
+
+import (
+	"strings"
+	"testing"
+
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+	"dise/internal/lang/types"
+)
+
+func TestGeneratedProgramsTypeCheck(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := New(seed, Config{})
+		src := g.Source()
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse error: %v\n%s", seed, err, src)
+		}
+		if _, err := types.Check(prog); err != nil {
+			t.Fatalf("seed %d: type error: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreDeterministic(t *testing.T) {
+	a := New(7, Config{}).Source()
+	b := New(7, Config{}).Source()
+	if a != b {
+		t.Error("same seed must generate the same program")
+	}
+	c := New(8, Config{}).Source()
+	if a == c {
+		t.Error("different seeds should generate different programs")
+	}
+}
+
+func TestMutantsTypeCheckAndDiffer(t *testing.T) {
+	differing := 0
+	for seed := int64(0); seed < 100; seed++ {
+		g := New(seed, Config{})
+		prog := g.Program()
+		mutant, descs := g.Mutate(prog, 3)
+		src := ast.Pretty(mutant)
+		reparsed, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: mutant does not reparse: %v\n%s", seed, err, src)
+		}
+		if _, err := types.Check(reparsed); err != nil {
+			t.Fatalf("seed %d: mutant type error: %v\nmutations: %v\n%s", seed, err, descs, src)
+		}
+		if ast.Pretty(prog) != ast.Pretty(mutant) {
+			differing++
+			if len(descs) == 0 {
+				t.Errorf("seed %d: program changed but no mutation recorded", seed)
+			}
+		}
+	}
+	if differing < 80 {
+		t.Errorf("only %d/100 mutants differ from their base; generator too weak", differing)
+	}
+}
+
+func TestMutateDoesNotTouchOriginal(t *testing.T) {
+	g := New(3, Config{})
+	prog := g.Program()
+	before := ast.Pretty(prog)
+	for i := 0; i < 10; i++ {
+		g.Mutate(prog, 3)
+	}
+	if ast.Pretty(prog) != before {
+		t.Error("Mutate must operate on a clone")
+	}
+}
+
+func TestGeneratedProgramsAreLoopFree(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog := New(seed, Config{}).Program()
+		ast.Walk(prog.Procs[0].Body.Stmts, func(s ast.Stmt) {
+			if _, ok := s.(*ast.While); ok {
+				t.Fatalf("seed %d: generator must not emit loops by default", seed)
+			}
+		})
+	}
+}
+
+func TestLoopModeGeneratesTerminatingLoops(t *testing.T) {
+	loops := 0
+	for seed := int64(0); seed < 80; seed++ {
+		prog := New(seed, Config{Loops: true}).Program()
+		if _, err := types.Check(prog); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, ast.Pretty(prog))
+		}
+		counters := map[string]bool{}
+		ast.Walk(prog.Procs[0].Body.Stmts, func(s ast.Stmt) {
+			w, ok := s.(*ast.While)
+			if !ok {
+				return
+			}
+			loops++
+			// Loop shape: "itN < C" with a unique counter per loop.
+			cond, ok := w.Cond.(*ast.Binary)
+			if !ok {
+				t.Fatalf("seed %d: loop cond %s not a comparison", seed, w.Cond)
+			}
+			counter, ok := cond.L.(*ast.Ident)
+			if !ok {
+				t.Fatalf("seed %d: loop cond %s lhs not a counter", seed, w.Cond)
+			}
+			if counters[counter.Name] {
+				t.Fatalf("seed %d: counter %s reused across loops", seed, counter.Name)
+			}
+			counters[counter.Name] = true
+			// No statement inside the body (other than the generator's
+			// trailing increment) may assign the counter.
+			assignsToCounter := 0
+			ast.Walk(w.Body.Stmts, func(b ast.Stmt) {
+				if a, ok := b.(*ast.Assign); ok && a.Name == counter.Name {
+					assignsToCounter++
+				}
+			})
+			if assignsToCounter != 1 {
+				t.Fatalf("seed %d: counter %s assigned %d times in the body, want exactly the increment",
+					seed, counter.Name, assignsToCounter)
+			}
+		})
+	}
+	if loops == 0 {
+		t.Fatal("loop mode generated no loops across 80 seeds")
+	}
+}
+
+func TestLoopModeMutantsKeepCounters(t *testing.T) {
+	// Mutation must never delete a loop-counter assignment (which would
+	// make a generated loop non-terminating).
+	for seed := int64(0); seed < 60; seed++ {
+		g := New(seed, Config{Loops: true})
+		prog := g.Program()
+		mutant, _ := g.Mutate(prog, 3)
+		counters := map[string]int{}
+		ast.Walk(prog.Procs[0].Body.Stmts, func(s ast.Stmt) {
+			if a, ok := s.(*ast.Assign); ok && strings.HasPrefix(a.Name, "it") {
+				counters[a.Name]++
+			}
+		})
+		mutantCounters := map[string]int{}
+		ast.Walk(mutant.Procs[0].Body.Stmts, func(s ast.Stmt) {
+			if a, ok := s.(*ast.Assign); ok && strings.HasPrefix(a.Name, "it") {
+				mutantCounters[a.Name]++
+			}
+		})
+		for name, n := range counters {
+			if mutantCounters[name] < n {
+				t.Fatalf("seed %d: mutation removed an assignment to loop counter %s", seed, name)
+			}
+		}
+	}
+}

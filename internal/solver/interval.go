@@ -1,0 +1,228 @@
+// Package solver implements a finite-domain constraint solver in the style
+// of Choco, the solver used by Symbolic PathFinder in the DiSE paper (§4.1).
+//
+// Path conditions produced by symbolic execution are conjunctions of boolean
+// expressions over integer symbolic inputs. The solver assigns every input a
+// finite interval domain (by default the non-negative range [0, 10^6],
+// mirroring Choco's default domains under SPF — see DESIGN.md), then
+// alternates
+//
+//   - bounds-consistency propagation on linear constraints, and
+//   - forward interval evaluation of non-linear/opaque constraints,
+//
+// with domain-splitting search. Like SPF (paper §4.1), a solver that gives
+// up within its budget reports Unknown and callers treat the path condition
+// as unsatisfiable.
+package solver
+
+import "fmt"
+
+// satBound bounds all interval arithmetic; anything outside saturates. It is
+// comfortably larger than any reachable program value (domains are ≤ 10^6
+// and programs perform bounded arithmetic) while leaving headroom so that
+// saturating products never wrap int64.
+const satBound = int64(1) << 62
+
+func satClamp(v int64) int64 {
+	if v > satBound {
+		return satBound
+	}
+	if v < -satBound {
+		return -satBound
+	}
+	return v
+}
+
+func satAdd(a, b int64) int64 {
+	// Operands are clamped to ±2^62, so the only way a+b escapes int64 is
+	// both being near a bound — detect before adding.
+	if a > 0 && b > satBound-a {
+		return satBound
+	}
+	if a < 0 && b < -satBound-a {
+		return -satBound
+	}
+	return satClamp(a + b)
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > satBound/abs64(b) || a < -satBound/abs64(b) {
+		if (a > 0) == (b > 0) {
+			return satBound
+		}
+		return -satBound
+	}
+	return a * b
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Interval is an inclusive integer interval [Lo, Hi]. An interval with
+// Lo > Hi is empty.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Full is the widest interval the solver manipulates.
+var Full = Interval{Lo: -satBound, Hi: satBound}
+
+// Singleton returns [v, v].
+func Singleton(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Empty reports whether the interval contains no values.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Fixed reports whether the interval is a single value.
+func (iv Interval) Fixed() bool { return iv.Lo == iv.Hi }
+
+// Size returns the number of values in the interval (saturated).
+func (iv Interval) Size() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return satAdd(satAdd(iv.Hi, -iv.Lo), 1)
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Intersect returns the intersection.
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// String renders "[lo..hi]".
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d..%d]", iv.Lo, iv.Hi)
+}
+
+func addIv(a, b Interval) Interval {
+	return Interval{Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+}
+
+func subIv(a, b Interval) Interval {
+	return Interval{Lo: satAdd(a.Lo, -b.Hi), Hi: satAdd(a.Hi, -b.Lo)}
+}
+
+func negIv(a Interval) Interval { return Interval{Lo: -a.Hi, Hi: -a.Lo} }
+
+func mulIv(a, b Interval) Interval {
+	c1 := satMul(a.Lo, b.Lo)
+	c2 := satMul(a.Lo, b.Hi)
+	c3 := satMul(a.Hi, b.Lo)
+	c4 := satMul(a.Hi, b.Hi)
+	return Interval{Lo: min4(c1, c2, c3, c4), Hi: max4(c1, c2, c3, c4)}
+}
+
+// divIv bounds truncated integer division a / b. Division by zero
+// contributes nothing (those assignments fail concretely); if the divisor
+// can only be zero the result is Full so no pruning happens and the final
+// concrete check rejects the assignment.
+func divIv(a, b Interval) Interval {
+	if b.Lo == 0 && b.Hi == 0 {
+		return Full
+	}
+	out := Interval{Lo: satBound, Hi: -satBound} // empty accumulator
+	widen := func(part Interval) {
+		if part.Empty() {
+			return
+		}
+		c1 := a.Lo / part.Lo
+		c2 := a.Lo / part.Hi
+		c3 := a.Hi / part.Lo
+		c4 := a.Hi / part.Hi
+		lo := min4(c1, c2, c3, c4)
+		hi := max4(c1, c2, c3, c4)
+		if lo < out.Lo {
+			out.Lo = lo
+		}
+		if hi > out.Hi {
+			out.Hi = hi
+		}
+	}
+	// Split the divisor around zero; truncated division is corner-monotone
+	// on each sign region.
+	widen(b.Intersect(Interval{Lo: 1, Hi: satBound}))
+	widen(b.Intersect(Interval{Lo: -satBound, Hi: -1}))
+	if out.Empty() {
+		return Full
+	}
+	return out
+}
+
+// modIv bounds a % b (Go/Java semantics: result sign follows the dividend).
+func modIv(a, b Interval) Interval {
+	m := abs64(b.Lo)
+	if h := abs64(b.Hi); h > m {
+		m = h
+	}
+	if m == 0 {
+		return Full
+	}
+	bound := m - 1
+	if la := abs64(a.Lo); la < bound && abs64(a.Hi) < bound {
+		bound = max2(la, abs64(a.Hi))
+	}
+	lo := int64(0)
+	if a.Lo < 0 {
+		lo = -bound
+	}
+	hi := int64(0)
+	if a.Hi > 0 {
+		hi = bound
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func min4(a, b, c, d int64) int64 { return min2(min2(a, b), min2(c, d)) }
+func max4(a, b, c, d int64) int64 { return max2(max2(a, b), max2(c, d)) }
+
+func min2(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ⌈a/b⌉ for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,336 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"dise/internal/sym"
+)
+
+// DefaultDomain is the domain assigned to integer symbolic inputs unless the
+// caller overrides it. It is non-negative, mirroring the Choco configuration
+// under SPF that the paper's artifacts ran with; DESIGN.md discusses how this
+// choice yields the paper's 21 feasible paths for the motivating example.
+var DefaultDomain = Interval{Lo: 0, Hi: 1_000_000}
+
+// BoolDomain is the 0/1 domain used for boolean symbolic inputs.
+var BoolDomain = Interval{Lo: 0, Hi: 1}
+
+// Options configures a Solver.
+type Options struct {
+	// NodeBudget caps search nodes per Check call; exceeding it yields an
+	// Unknown result (treated as unsatisfiable by callers, as SPF does).
+	// Zero means the default of 1<<16.
+	NodeBudget int
+}
+
+// Stats counts solver work across Check calls.
+type Stats struct {
+	Calls        int // Check invocations
+	Sat          int // satisfiable results
+	Unsat        int // unsatisfiable results
+	Unknown      int // budget exhausted
+	SearchNodes  int // total branching nodes explored
+	Propagations int // domain-tightening passes
+}
+
+// Result is the outcome of a Check call.
+type Result struct {
+	Sat     bool
+	Unknown bool // budget exhausted before a verdict
+	// Model maps every variable to a concrete value when Sat. The model is
+	// deterministic: the search branches on the lowest candidate value first.
+	Model map[string]int64
+}
+
+// Solver checks satisfiability of conjunctions of symbolic constraints over
+// finite integer domains.
+type Solver struct {
+	opts  Options
+	stats Stats
+	// compiled caches the normalized form of constraint expressions.
+	// Symbolic expressions are immutable and shared across the path
+	// conditions of sibling states, so compilation amortizes across the
+	// thousands of Check calls a symbolic execution run makes.
+	compiled map[sym.Expr][]*constraint
+}
+
+// New returns a Solver.
+func New(opts Options) *Solver {
+	if opts.NodeBudget == 0 {
+		opts.NodeBudget = 1 << 16
+	}
+	return &Solver{opts: opts, compiled: map[sym.Expr][]*constraint{}}
+}
+
+// Stats returns accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// Check decides satisfiability of the conjunction of constraints, with each
+// variable restricted to the domain in domains. Variables that occur in the
+// constraints but not in domains get DefaultDomain.
+func (s *Solver) Check(constraints []sym.Expr, domains map[string]Interval) Result {
+	s.stats.Calls++
+	var compiled []*constraint
+	for _, e := range constraints {
+		compiled = append(compiled, s.compile(e)...)
+	}
+	p := newProblem(compiled, domains)
+	budget := s.opts.NodeBudget
+	res := p.solve(&s.stats, &budget)
+	switch {
+	case res.Sat:
+		s.stats.Sat++
+	case res.Unknown:
+		s.stats.Unknown++
+	default:
+		s.stats.Unsat++
+	}
+	return res
+}
+
+// conKind classifies compiled constraints.
+type conKind int
+
+const (
+	conLinear conKind = iota // lin ⋈ 0 with ⋈ ∈ {<=, ==, !=}
+	conOpaque                // arbitrary boolean expression
+)
+
+// constraint is a compiled, name-based constraint (cached on the Solver and
+// shared across problems).
+type constraint struct {
+	kind conKind
+	expr sym.Expr   // original expression (used for opaque evaluation)
+	lin  sym.Linear // linear form, conLinear only
+	op   sym.Op     // OpLE, OpEQ or OpNE, conLinear only
+	vars []string   // sorted variable names mentioned
+}
+
+// compile normalizes e into linear/opaque constraints, flattening top-level
+// conjunctions, with caching.
+func (s *Solver) compile(e sym.Expr) []*constraint {
+	if cached, ok := s.compiled[e]; ok {
+		return cached
+	}
+	var out []*constraint
+	switch ex := e.(type) {
+	case *sym.BoolConst:
+		if !ex.V {
+			// Trivially false: encode as 1 <= 0.
+			lin := sym.NewLinear()
+			lin.Const = 1
+			out = append(out, finishLinear(e, lin, sym.OpLE))
+		}
+		// Trivially true compiles to nothing.
+	case *sym.Var:
+		// A bare boolean variable used as a constraint: v == 1.
+		lin := sym.NewLinear()
+		lin.Coeffs[ex.Name] = 1
+		lin.Const = -1
+		out = append(out, finishLinear(e, lin, sym.OpEQ))
+	case *sym.Not:
+		if v, ok := ex.X.(*sym.Var); ok {
+			// !v: v == 0.
+			lin := sym.NewLinear()
+			lin.Coeffs[v.Name] = 1
+			out = append(out, finishLinear(e, lin, sym.OpEQ))
+		} else {
+			out = append(out, opaque(e))
+		}
+	case *sym.Bin:
+		switch {
+		case ex.Op == sym.OpAnd:
+			out = append(out, s.compile(ex.L)...)
+			out = append(out, s.compile(ex.R)...)
+		case ex.Op.IsComparison():
+			if c, ok := linearize(ex); ok {
+				out = append(out, c)
+			} else {
+				out = append(out, opaque(e))
+			}
+		default:
+			out = append(out, opaque(e))
+		}
+	default:
+		out = append(out, opaque(e))
+	}
+	s.compiled[e] = out
+	return out
+}
+
+// linearize turns "L ⋈ R" with linear sides into a normalized constraint.
+func linearize(e *sym.Bin) (*constraint, bool) {
+	ll, ok := sym.LinearOf(boolToInt(e.L))
+	if !ok {
+		return nil, false
+	}
+	rl, ok := sym.LinearOf(boolToInt(e.R))
+	if !ok {
+		return nil, false
+	}
+	lin := sym.AddLinear(ll, sym.ScaleLinear(rl, -1)) // L - R
+	switch e.Op {
+	case sym.OpLT: // L - R < 0  ≡  L - R + 1 <= 0
+		lin.Const++
+		return finishLinear(e, lin, sym.OpLE), true
+	case sym.OpLE:
+		return finishLinear(e, lin, sym.OpLE), true
+	case sym.OpGT: // L - R > 0  ≡  R - L + 1 <= 0
+		lin = sym.ScaleLinear(lin, -1)
+		lin.Const++
+		return finishLinear(e, lin, sym.OpLE), true
+	case sym.OpGE:
+		lin = sym.ScaleLinear(lin, -1)
+		return finishLinear(e, lin, sym.OpLE), true
+	case sym.OpEQ:
+		return finishLinear(e, lin, sym.OpEQ), true
+	case sym.OpNE:
+		return finishLinear(e, lin, sym.OpNE), true
+	}
+	return nil, false
+}
+
+// boolToInt rewrites boolean constants appearing as comparison operands
+// (e.g. "b == true") into 0/1 integers so that boolean variables integrate
+// with the linear machinery.
+func boolToInt(e sym.Expr) sym.Expr {
+	if b, ok := e.(*sym.BoolConst); ok {
+		if b.V {
+			return sym.One
+		}
+		return sym.Zero
+	}
+	return e
+}
+
+func finishLinear(e sym.Expr, lin sym.Linear, op sym.Op) *constraint {
+	return &constraint{kind: conLinear, expr: e, lin: lin, op: op, vars: lin.Vars()}
+}
+
+func opaque(e sym.Expr) *constraint {
+	return &constraint{kind: conOpaque, expr: e, vars: sym.Vars(e)}
+}
+
+// term is one resolved linear term: coeff * var(idx).
+type term struct {
+	idx   int
+	coeff int64
+}
+
+// conView is a constraint resolved against a problem's variable indexing.
+type conView struct {
+	c     *constraint
+	terms []term // conLinear only
+	konst int64  // conLinear only
+	vars  []int  // variable indices, all kinds
+}
+
+// problem is one Check instance.
+type problem struct {
+	varNames []string
+	varIdx   map[string]int
+	domains  []Interval
+	views    []conView
+	// trivialUnsat is set when same-form analysis found two linear
+	// constraints over the same term vector with incompatible ranges
+	// (e.g. X - Y >= 1 together with X - Y == 0). Bounds propagation alone
+	// converges one unit per pass on such pairs — a pathology over wide
+	// domains — so they are refuted during setup instead.
+	trivialUnsat bool
+}
+
+func newProblem(constraints []*constraint, domains map[string]Interval) *problem {
+	p := &problem{varIdx: map[string]int{}}
+	// Collect variables across all constraints plus every variable the
+	// caller declared a domain for (so models always cover all inputs,
+	// including unconstrained ones), deterministically.
+	nameSet := map[string]bool{}
+	for _, c := range constraints {
+		for _, n := range c.vars {
+			nameSet[n] = true
+		}
+	}
+	for n := range domains {
+		nameSet[n] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.varIdx[n] = len(p.varNames)
+		p.varNames = append(p.varNames, n)
+		d, ok := domains[n]
+		if !ok {
+			d = DefaultDomain
+		}
+		p.domains = append(p.domains, d)
+	}
+	for _, c := range constraints {
+		v := conView{c: c, konst: c.lin.Const}
+		for _, name := range c.vars {
+			v.vars = append(v.vars, p.varIdx[name])
+		}
+		if c.kind == conLinear {
+			for name, coeff := range c.lin.Coeffs {
+				v.terms = append(v.terms, term{idx: p.varIdx[name], coeff: coeff})
+			}
+			sort.Slice(v.terms, func(i, j int) bool { return v.terms[i].idx < v.terms[j].idx })
+		}
+		p.views = append(p.views, v)
+	}
+	p.intersectForms()
+	return p
+}
+
+// intersectForms groups linear constraints by their (sign-normalized) term
+// vector and intersects the ranges they impose on the shared form. An empty
+// intersection proves unsatisfiability without any propagation.
+func (p *problem) intersectForms() {
+	type rng struct{ lo, hi int64 }
+	forms := map[string]*rng{}
+	for i := range p.views {
+		v := &p.views[i]
+		if v.c.kind != conLinear || len(v.terms) == 0 {
+			continue
+		}
+		// Sign-normalize: make the first coefficient positive so that a
+		// form and its negation share a key.
+		sign := int64(1)
+		if v.terms[0].coeff < 0 {
+			sign = -1
+		}
+		key := make([]byte, 0, len(v.terms)*8)
+		for _, t := range v.terms {
+			key = fmt.Appendf(key, "%d:%d;", t.idx, sign*t.coeff)
+		}
+		r, ok := forms[string(key)]
+		if !ok {
+			r = &rng{lo: -satBound, hi: satBound}
+			forms[string(key)] = r
+		}
+		// Constraint: Σ terms + konst ⋈ 0, i.e. sign*Σ' + konst ⋈ 0 where
+		// Σ' is the normalized form.
+		switch v.c.op {
+		case sym.OpLE: // sign*Σ' <= -konst
+			if sign > 0 {
+				r.hi = min2(r.hi, -v.konst)
+			} else {
+				r.lo = max2(r.lo, v.konst)
+			}
+		case sym.OpEQ: // sign*Σ' == -konst
+			val := -v.konst * sign
+			r.lo = max2(r.lo, val)
+			r.hi = min2(r.hi, val)
+		}
+		if r.lo > r.hi {
+			p.trivialUnsat = true
+			return
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sym
+
+import "fmt"
+
+// Value is a concrete value: an int64 or a bool.
+type Value struct {
+	IsBool bool
+	I      int64
+	B      bool
+}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{I: v} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value { return Value{IsBool: true, B: v} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.IsBool {
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Eval evaluates e under a full concrete assignment. It returns an error for
+// unbound variables, type mismatches, or division by zero — the latter
+// mirrors a Java ArithmeticException and lets callers treat the path as
+// erroneous rather than crash.
+func Eval(e Expr, env map[string]Value) (Value, error) {
+	switch e := e.(type) {
+	case *IntConst:
+		return IntValue(e.V), nil
+	case *BoolConst:
+		return BoolValue(e.V), nil
+	case *Var:
+		v, ok := env[e.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("sym.Eval: unbound variable %q", e.Name)
+		}
+		return v, nil
+	case *Neg:
+		x, err := Eval(e.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.IsBool {
+			return Value{}, fmt.Errorf("sym.Eval: negating bool")
+		}
+		return IntValue(-x.I), nil
+	case *Not:
+		x, err := Eval(e.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !x.IsBool {
+			return Value{}, fmt.Errorf("sym.Eval: ! on int")
+		}
+		return BoolValue(!x.B), nil
+	case *Bin:
+		l, err := Eval(e.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		// Short-circuit booleans first.
+		switch e.Op {
+		case OpAnd:
+			if !l.B {
+				return BoolValue(false), nil
+			}
+			return Eval(e.R, env)
+		case OpOr:
+			if l.B {
+				return BoolValue(true), nil
+			}
+			return Eval(e.R, env)
+		}
+		r, err := Eval(e.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch {
+		case e.Op.IsArith():
+			if l.IsBool || r.IsBool {
+				return Value{}, fmt.Errorf("sym.Eval: arithmetic on bool")
+			}
+			switch e.Op {
+			case OpAdd:
+				return IntValue(l.I + r.I), nil
+			case OpSub:
+				return IntValue(l.I - r.I), nil
+			case OpMul:
+				return IntValue(l.I * r.I), nil
+			case OpDiv:
+				if r.I == 0 {
+					return Value{}, fmt.Errorf("sym.Eval: division by zero")
+				}
+				return IntValue(l.I / r.I), nil
+			case OpMod:
+				if r.I == 0 {
+					return Value{}, fmt.Errorf("sym.Eval: modulo by zero")
+				}
+				return IntValue(l.I % r.I), nil
+			}
+		case e.Op.IsComparison():
+			if l.IsBool != r.IsBool {
+				return Value{}, fmt.Errorf("sym.Eval: comparing int with bool")
+			}
+			if l.IsBool {
+				switch e.Op {
+				case OpEQ:
+					return BoolValue(l.B == r.B), nil
+				case OpNE:
+					return BoolValue(l.B != r.B), nil
+				default:
+					return Value{}, fmt.Errorf("sym.Eval: ordering on bool")
+				}
+			}
+			return BoolValue(evalCmpInt(e.Op, l.I, r.I)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("sym.Eval: unknown expression %T", e)
+}
+
+// EvalBool evaluates a boolean expression under env.
+func EvalBool(e Expr, env map[string]Value) (bool, error) {
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	if !v.IsBool {
+		return false, fmt.Errorf("sym.EvalBool: expression %s is not boolean", e)
+	}
+	return v.B, nil
+}

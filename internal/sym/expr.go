@@ -1,0 +1,277 @@
+// Package sym defines the symbolic expression IR used by the symbolic
+// executor and the constraint solver.
+//
+// During symbolic execution each program variable maps to an Expr over the
+// symbolic inputs (procedure parameters and, optionally, symbolic globals)
+// and integer constants — exactly the "symbolic expressions for the symbolic
+// input variables" of the paper's §2.1. Path conditions are conjunctions of
+// boolean Exprs.
+//
+// The IR is immutable; Simplify and the builder helpers return shared or
+// fresh nodes and never mutate their arguments, so expressions may be shared
+// freely between symbolic states (states are forked at every branch).
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates operators in the IR.
+type Op int
+
+// Operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+
+	OpAnd
+	OpOr
+	OpNot
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%", OpNeg: "-",
+	OpEQ: "==", OpNE: "!=", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=",
+	OpAnd: "&&", OpOr: "||", OpNot: "!",
+}
+
+// String renders the operator.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsComparison reports whether o is a comparison.
+func (o Op) IsComparison() bool { return o >= OpEQ && o <= OpGE }
+
+// IsArith reports whether o is a binary arithmetic operator.
+func (o Op) IsArith() bool { return o >= OpAdd && o <= OpMod }
+
+// Negate returns the comparison with the opposite truth value:
+// ¬(a < b) = a >= b, etc.
+func (o Op) Negate() Op {
+	switch o {
+	case OpEQ:
+		return OpNE
+	case OpNE:
+		return OpEQ
+	case OpLT:
+		return OpGE
+	case OpLE:
+		return OpGT
+	case OpGT:
+		return OpLE
+	case OpGE:
+		return OpLT
+	}
+	panic(fmt.Sprintf("sym: Negate of non-comparison %v", o))
+}
+
+// Swap returns the comparison with operands exchanged: a < b  ≡  b > a.
+func (o Op) Swap() Op {
+	switch o {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	case OpEQ, OpNE:
+		return o
+	}
+	panic(fmt.Sprintf("sym: Swap of non-comparison %v", o))
+}
+
+// Expr is a symbolic expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// IntConst is an integer constant.
+type IntConst struct{ V int64 }
+
+// BoolConst is a boolean constant.
+type BoolConst struct{ V bool }
+
+// Var is a symbolic variable (a procedure input in the paper's setting,
+// e.g. X for parameter x).
+type Var struct{ Name string }
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+// Neg is arithmetic negation.
+type Neg struct{ X Expr }
+
+func (*IntConst) exprNode()  {}
+func (*BoolConst) exprNode() {}
+func (*Var) exprNode()       {}
+func (*Bin) exprNode()       {}
+func (*Not) exprNode()       {}
+func (*Neg) exprNode()       {}
+
+// Shared constants.
+var (
+	True  = &BoolConst{V: true}
+	False = &BoolConst{V: false}
+	Zero  = &IntConst{V: 0}
+	One   = &IntConst{V: 1}
+)
+
+// Int returns an integer constant expression.
+func Int(v int64) *IntConst {
+	switch v {
+	case 0:
+		return Zero
+	case 1:
+		return One
+	}
+	return &IntConst{V: v}
+}
+
+// Bool returns a boolean constant expression.
+func Bool(v bool) *BoolConst {
+	if v {
+		return True
+	}
+	return False
+}
+
+// V returns a symbolic variable.
+func V(name string) *Var { return &Var{Name: name} }
+
+func (e *IntConst) String() string { return fmt.Sprintf("%d", e.V) }
+func (e *BoolConst) String() string {
+	if e.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+func (e *Var) String() string { return e.Name }
+func (e *Bin) String() string {
+	return wrap(e.L) + " " + e.Op.String() + " " + wrap(e.R)
+}
+func (e *Not) String() string { return "!" + wrap(e.X) }
+func (e *Neg) String() string { return "-" + wrap(e.X) }
+
+func wrap(e Expr) string {
+	switch e.(type) {
+	case *Bin:
+		return "(" + e.String() + ")"
+	default:
+		return e.String()
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	switch a := a.(type) {
+	case *IntConst:
+		b, ok := b.(*IntConst)
+		return ok && a.V == b.V
+	case *BoolConst:
+		b, ok := b.(*BoolConst)
+		return ok && a.V == b.V
+	case *Var:
+		b, ok := b.(*Var)
+		return ok && a.Name == b.Name
+	case *Bin:
+		bb, ok := b.(*Bin)
+		return ok && a.Op == bb.Op && Equal(a.L, bb.L) && Equal(a.R, bb.R)
+	case *Not:
+		b, ok := b.(*Not)
+		return ok && Equal(a.X, b.X)
+	case *Neg:
+		b, ok := b.(*Neg)
+		return ok && Equal(a.X, b.X)
+	}
+	return false
+}
+
+// Walk visits e and all sub-expressions, pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Bin:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
+	case *Not:
+		Walk(e.X, fn)
+	case *Neg:
+		Walk(e.X, fn)
+	}
+}
+
+// Vars returns the sorted list of symbolic variable names occurring in e.
+func Vars(e Expr) []string {
+	set := map[string]bool{}
+	Walk(e, func(x Expr) {
+		if v, ok := x.(*Var); ok {
+			set[v.Name] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VarsAll returns the sorted list of variable names across all exprs.
+func VarsAll(exprs []Expr) []string {
+	set := map[string]bool{}
+	for _, e := range exprs {
+		Walk(e, func(x Expr) {
+			if v, ok := x.(*Var); ok {
+				set[v.Name] = true
+			}
+		})
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Conjoin renders a conjunction of constraints the way SPF prints path
+// conditions: "c1 && c2 && ...". An empty conjunction renders as "true".
+func Conjoin(cs []Expr) string {
+	if len(cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}

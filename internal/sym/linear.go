@@ -1,0 +1,138 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Linear is a linear integer form: Σ Coeffs[v]·v + Const. The constraint
+// solver normalizes comparisons of linear expressions into "linear form ⋈ 0"
+// and applies bounds-consistency propagation to them; anything non-linear
+// (multiplication of two symbolic terms, division, modulo) stays opaque and
+// is handled by forward interval evaluation plus search.
+type Linear struct {
+	Coeffs map[string]int64
+	Const  int64
+}
+
+// NewLinear returns an empty (zero) linear form.
+func NewLinear() Linear { return Linear{Coeffs: map[string]int64{}} }
+
+// IsConst reports whether the form has no variable terms.
+func (l Linear) IsConst() bool { return len(l.Coeffs) == 0 }
+
+// Clone deep-copies the form.
+func (l Linear) Clone() Linear {
+	c := Linear{Coeffs: make(map[string]int64, len(l.Coeffs)), Const: l.Const}
+	for k, v := range l.Coeffs {
+		c.Coeffs[k] = v
+	}
+	return c
+}
+
+func (l *Linear) addTerm(name string, coeff int64) {
+	c := l.Coeffs[name] + coeff
+	if c == 0 {
+		delete(l.Coeffs, name)
+	} else {
+		l.Coeffs[name] = c
+	}
+}
+
+// AddLinear returns a + b.
+func AddLinear(a, b Linear) Linear {
+	out := a.Clone()
+	out.Const += b.Const
+	for v, c := range b.Coeffs {
+		out.addTerm(v, c)
+	}
+	return out
+}
+
+// ScaleLinear returns k·a.
+func ScaleLinear(a Linear, k int64) Linear {
+	out := NewLinear()
+	if k == 0 {
+		return out
+	}
+	out.Const = a.Const * k
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] = c * k
+	}
+	return out
+}
+
+// Vars returns the sorted variable names of the form.
+func (l Linear) Vars() []string {
+	out := make([]string, 0, len(l.Coeffs))
+	for v := range l.Coeffs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders e.g. "2*X + -1*Y + 3".
+func (l Linear) String() string {
+	var parts []string
+	for _, v := range l.Vars() {
+		parts = append(parts, fmt.Sprintf("%d*%s", l.Coeffs[v], v))
+	}
+	if l.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", l.Const))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// LinearOf linearizes an integer-typed expression. The second result is
+// false when the expression is not linear (symbolic multiplication,
+// division, or modulo).
+func LinearOf(e Expr) (Linear, bool) {
+	switch e := e.(type) {
+	case *IntConst:
+		l := NewLinear()
+		l.Const = e.V
+		return l, true
+	case *Var:
+		l := NewLinear()
+		l.Coeffs[e.Name] = 1
+		return l, true
+	case *Neg:
+		x, ok := LinearOf(e.X)
+		if !ok {
+			return Linear{}, false
+		}
+		return ScaleLinear(x, -1), true
+	case *Bin:
+		switch e.Op {
+		case OpAdd, OpSub:
+			a, ok := LinearOf(e.L)
+			if !ok {
+				return Linear{}, false
+			}
+			b, ok := LinearOf(e.R)
+			if !ok {
+				return Linear{}, false
+			}
+			if e.Op == OpSub {
+				b = ScaleLinear(b, -1)
+			}
+			return AddLinear(a, b), true
+		case OpMul:
+			a, aok := LinearOf(e.L)
+			b, bok := LinearOf(e.R)
+			if !aok || !bok {
+				return Linear{}, false
+			}
+			switch {
+			case a.IsConst():
+				return ScaleLinear(b, a.Const), true
+			case b.IsConst():
+				return ScaleLinear(a, b.Const), true
+			}
+			return Linear{}, false
+		}
+	}
+	return Linear{}, false
+}

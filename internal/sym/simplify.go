@@ -1,0 +1,281 @@
+package sym
+
+// Smart constructors with algebraic simplification. Symbolic execution
+// builds expressions at every assignment and branch; folding constants and
+// trivial identities keeps path conditions small, mirrors what SPF's
+// expression factory does, and gives the constraint solver simpler input.
+
+// Add returns l + r simplified.
+func Add(l, r Expr) Expr {
+	if lc, ok := l.(*IntConst); ok {
+		if rc, ok := r.(*IntConst); ok {
+			return Int(lc.V + rc.V)
+		}
+		if lc.V == 0 {
+			return r
+		}
+	}
+	if rc, ok := r.(*IntConst); ok && rc.V == 0 {
+		return l
+	}
+	// Re-associate (x + c1) + c2 → x + (c1+c2): common for chains like
+	// PedalCmd = PedalCmd + 1 repeated along a path.
+	if rc, ok := r.(*IntConst); ok {
+		if lb, ok := l.(*Bin); ok && lb.Op == OpAdd {
+			if lrc, ok := lb.R.(*IntConst); ok {
+				return Add(lb.L, Int(lrc.V+rc.V))
+			}
+		}
+		if lb, ok := l.(*Bin); ok && lb.Op == OpSub {
+			if lrc, ok := lb.R.(*IntConst); ok {
+				return Sub(lb.L, Int(lrc.V-rc.V))
+			}
+		}
+	}
+	return &Bin{Op: OpAdd, L: l, R: r}
+}
+
+// Sub returns l - r simplified.
+func Sub(l, r Expr) Expr {
+	if lc, ok := l.(*IntConst); ok {
+		if rc, ok := r.(*IntConst); ok {
+			return Int(lc.V - rc.V)
+		}
+		if lc.V == 0 {
+			return NegE(r)
+		}
+	}
+	if rc, ok := r.(*IntConst); ok && rc.V == 0 {
+		return l
+	}
+	if Equal(l, r) {
+		return Zero
+	}
+	if rc, ok := r.(*IntConst); ok {
+		if lb, ok := l.(*Bin); ok && lb.Op == OpAdd {
+			if lrc, ok := lb.R.(*IntConst); ok {
+				return Add(lb.L, Int(lrc.V-rc.V))
+			}
+		}
+		if lb, ok := l.(*Bin); ok && lb.Op == OpSub {
+			if lrc, ok := lb.R.(*IntConst); ok {
+				return Sub(lb.L, Int(lrc.V+rc.V))
+			}
+		}
+	}
+	return &Bin{Op: OpSub, L: l, R: r}
+}
+
+// Mul returns l * r simplified.
+func Mul(l, r Expr) Expr {
+	if lc, ok := l.(*IntConst); ok {
+		if rc, ok := r.(*IntConst); ok {
+			return Int(lc.V * rc.V)
+		}
+		switch lc.V {
+		case 0:
+			return Zero
+		case 1:
+			return r
+		}
+	}
+	if rc, ok := r.(*IntConst); ok {
+		switch rc.V {
+		case 0:
+			return Zero
+		case 1:
+			return l
+		}
+	}
+	return &Bin{Op: OpMul, L: l, R: r}
+}
+
+// Div returns l / r simplified (truncating integer division; division by the
+// zero constant is left symbolic and surfaces as an infeasible/opaque
+// constraint downstream rather than panicking here).
+func Div(l, r Expr) Expr {
+	if rc, ok := r.(*IntConst); ok && rc.V != 0 {
+		if lc, ok := l.(*IntConst); ok {
+			return Int(lc.V / rc.V)
+		}
+		if rc.V == 1 {
+			return l
+		}
+	}
+	if lc, ok := l.(*IntConst); ok && lc.V == 0 {
+		if rc, ok := r.(*IntConst); !ok || rc.V != 0 {
+			return Zero
+		}
+	}
+	return &Bin{Op: OpDiv, L: l, R: r}
+}
+
+// Mod returns l % r simplified.
+func Mod(l, r Expr) Expr {
+	if rc, ok := r.(*IntConst); ok && rc.V != 0 {
+		if lc, ok := l.(*IntConst); ok {
+			return Int(lc.V % rc.V)
+		}
+		if rc.V == 1 || rc.V == -1 {
+			return Zero
+		}
+	}
+	return &Bin{Op: OpMod, L: l, R: r}
+}
+
+// NegE returns -x simplified.
+func NegE(x Expr) Expr {
+	switch x := x.(type) {
+	case *IntConst:
+		return Int(-x.V)
+	case *Neg:
+		return x.X
+	}
+	return &Neg{X: x}
+}
+
+// Cmp returns (l op r) simplified, for comparison operators.
+func Cmp(op Op, l, r Expr) Expr {
+	if !op.IsComparison() {
+		panic("sym.Cmp: operator is not a comparison: " + op.String())
+	}
+	if lc, ok := l.(*IntConst); ok {
+		if rc, ok := r.(*IntConst); ok {
+			return Bool(evalCmpInt(op, lc.V, rc.V))
+		}
+	}
+	if lb, ok := l.(*BoolConst); ok {
+		if rb, ok := r.(*BoolConst); ok {
+			switch op {
+			case OpEQ:
+				return Bool(lb.V == rb.V)
+			case OpNE:
+				return Bool(lb.V != rb.V)
+			}
+		}
+	}
+	if Equal(l, r) {
+		switch op {
+		case OpEQ, OpLE, OpGE:
+			return True
+		case OpNE, OpLT, OpGT:
+			return False
+		}
+	}
+	return &Bin{Op: op, L: l, R: r}
+}
+
+func evalCmpInt(op Op, a, b int64) bool {
+	switch op {
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	}
+	panic("sym: not a comparison: " + op.String())
+}
+
+// AndE returns l && r simplified.
+func AndE(l, r Expr) Expr {
+	if lb, ok := l.(*BoolConst); ok {
+		if !lb.V {
+			return False
+		}
+		return r
+	}
+	if rb, ok := r.(*BoolConst); ok {
+		if !rb.V {
+			return False
+		}
+		return l
+	}
+	return &Bin{Op: OpAnd, L: l, R: r}
+}
+
+// OrE returns l || r simplified.
+func OrE(l, r Expr) Expr {
+	if lb, ok := l.(*BoolConst); ok {
+		if lb.V {
+			return True
+		}
+		return r
+	}
+	if rb, ok := r.(*BoolConst); ok {
+		if rb.V {
+			return True
+		}
+		return l
+	}
+	return &Bin{Op: OpOr, L: l, R: r}
+}
+
+// NotE returns !x simplified: constants fold, double negation cancels, and
+// negation is pushed through comparisons (¬(a < b) → a >= b) and through
+// &&/|| by De Morgan, producing negation-normal form incrementally. This is
+// what keeps path conditions readable as lists of atomic comparisons.
+func NotE(x Expr) Expr {
+	switch x := x.(type) {
+	case *BoolConst:
+		return Bool(!x.V)
+	case *Not:
+		return x.X
+	case *Bin:
+		switch {
+		case x.Op.IsComparison():
+			return Cmp(x.Op.Negate(), x.L, x.R)
+		case x.Op == OpAnd:
+			return OrE(NotE(x.L), NotE(x.R))
+		case x.Op == OpOr:
+			return AndE(NotE(x.L), NotE(x.R))
+		}
+	}
+	return &Not{X: x}
+}
+
+// Subst returns e with every variable replaced per env; variables absent
+// from env are left symbolic.
+func Subst(e Expr, env map[string]Expr) Expr {
+	switch e := e.(type) {
+	case *IntConst, *BoolConst:
+		return e
+	case *Var:
+		if r, ok := env[e.Name]; ok {
+			return r
+		}
+		return e
+	case *Neg:
+		return NegE(Subst(e.X, env))
+	case *Not:
+		return NotE(Subst(e.X, env))
+	case *Bin:
+		l := Subst(e.L, env)
+		r := Subst(e.R, env)
+		switch {
+		case e.Op == OpAdd:
+			return Add(l, r)
+		case e.Op == OpSub:
+			return Sub(l, r)
+		case e.Op == OpMul:
+			return Mul(l, r)
+		case e.Op == OpDiv:
+			return Div(l, r)
+		case e.Op == OpMod:
+			return Mod(l, r)
+		case e.Op.IsComparison():
+			return Cmp(e.Op, l, r)
+		case e.Op == OpAnd:
+			return AndE(l, r)
+		case e.Op == OpOr:
+			return OrE(l, r)
+		}
+	}
+	panic("sym.Subst: unknown expression")
+}

@@ -1,0 +1,414 @@
+package symexec
+
+import (
+	"fmt"
+	"time"
+
+	"dise/internal/cfg"
+	"dise/internal/lang/ast"
+	"dise/internal/lang/token"
+	"dise/internal/lang/types"
+	"dise/internal/solver"
+	"dise/internal/sym"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// DepthBound limits the number of CFG nodes executed on a single path;
+	// paths that exceed it are abandoned (counted in Stats.DepthBoundHits),
+	// guaranteeing termination for loops (paper §2.1). Zero means the
+	// default of 1000.
+	DepthBound int
+	// MaxStates aborts the whole run after this many states, as a safety
+	// valve for runaway exploration. Zero means no limit.
+	MaxStates int
+	// IntDomain is the solver domain for integer symbolic inputs. The zero
+	// value selects solver.DefaultDomain (non-negative, Choco-like).
+	IntDomain solver.Interval
+	// ConcreteGlobals makes global variables take their declared constant
+	// initializers instead of fresh symbolic values. By default globals are
+	// symbolic inputs, matching the paper's SPF setup where fields are
+	// symbolic (§5.2).
+	ConcreteGlobals bool
+	// SolverOptions configures the constraint solver.
+	SolverOptions solver.Options
+}
+
+// Stats are the cost counters reported in the paper's Table 2: states
+// explored, time, and the number of path conditions (len(Summary.Paths)).
+type Stats struct {
+	StatesExplored     int
+	PathsExplored      int
+	InfeasibleBranches int
+	DepthBoundHits     int
+	// ModelHits counts branch feasibility decisions answered by the
+	// parent state's cached satisfying model instead of a solver call.
+	ModelHits    int
+	MaxStatesHit bool
+	Time         time.Duration
+	Solver       solver.Stats
+}
+
+// Engine symbolically executes one procedure.
+type Engine struct {
+	Prog   *ast.Program
+	Proc   *ast.Procedure
+	Graph  *cfg.Graph
+	Solver *solver.Solver
+
+	cfgInfo    *types.Info
+	config     Config
+	domains    map[string]solver.Interval
+	stats      Stats
+	depthBound int
+}
+
+// New type-checks the program, builds the CFG of procedure procName, and
+// returns an engine ready to run.
+func New(prog *ast.Program, procName string, config Config) (*Engine, error) {
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	proc := prog.Proc(procName)
+	if proc == nil {
+		return nil, fmt.Errorf("symexec: procedure %q not found", procName)
+	}
+	var callErr error
+	ast.Walk(proc.Body.Stmts, func(s ast.Stmt) {
+		if c, ok := s.(*ast.Call); ok && callErr == nil {
+			callErr = fmt.Errorf("symexec: procedure %q calls %q; expand calls with the inline package first", procName, c.Callee)
+		}
+	})
+	if callErr != nil {
+		return nil, callErr
+	}
+	g := cfg.Build(proc)
+	e := &Engine{
+		Prog:    prog,
+		Proc:    proc,
+		Graph:   g,
+		Solver:  solver.New(config.SolverOptions),
+		cfgInfo: info,
+		config:  config,
+		domains: map[string]solver.Interval{},
+	}
+	e.depthBound = config.DepthBound
+	if e.depthBound == 0 {
+		e.depthBound = 1000
+	}
+	intDomain := config.IntDomain
+	if intDomain == (solver.Interval{}) {
+		intDomain = solver.DefaultDomain
+	}
+	// Symbolic inputs: parameters always; globals unless ConcreteGlobals.
+	for _, p := range proc.Params {
+		if p.Type == ast.TypeBool {
+			e.domains[symbolName(p.Name)] = solver.BoolDomain
+		} else {
+			e.domains[symbolName(p.Name)] = intDomain
+		}
+	}
+	if !config.ConcreteGlobals {
+		for _, gl := range prog.Globals {
+			if gl.Type == ast.TypeBool {
+				e.domains[symbolName(gl.Name)] = solver.BoolDomain
+			} else {
+				e.domains[symbolName(gl.Name)] = intDomain
+			}
+		}
+	}
+	return e, nil
+}
+
+// symbolName maps a program variable to its symbolic input name, following
+// the paper's convention (§2.1): variable x gets symbol X, PedalPos stays
+// PedalPos.
+func symbolName(varName string) string {
+	if varName == "" {
+		return varName
+	}
+	c := varName[0]
+	if c >= 'a' && c <= 'z' {
+		return string(c-'a'+'A') + varName[1:]
+	}
+	return varName
+}
+
+// SymbolName exposes the symbol naming convention to other packages.
+func SymbolName(varName string) string { return symbolName(varName) }
+
+// Domains returns the solver domains of the symbolic inputs.
+func (e *Engine) Domains() map[string]solver.Interval {
+	out := make(map[string]solver.Interval, len(e.domains))
+	for k, v := range e.domains {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns a snapshot of the engine's counters, including solver stats.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.Solver = e.Solver.Stats()
+	return st
+}
+
+// ResetStats zeroes all counters (engine and solver).
+func (e *Engine) ResetStats() {
+	e.stats = Stats{}
+	e.Solver.ResetStats()
+}
+
+// DepthBound returns the effective path depth bound.
+func (e *Engine) DepthBound() int { return e.depthBound }
+
+// InitialState builds the state at the begin node: parameters and (by
+// default) globals bound to fresh symbolic values, path condition true.
+func (e *Engine) InitialState() *State {
+	env := map[string]sym.Expr{}
+	for _, p := range e.Proc.Params {
+		env[p.Name] = sym.V(symbolName(p.Name))
+	}
+	for _, gl := range e.Prog.Globals {
+		if e.config.ConcreteGlobals {
+			switch init := gl.Init.(type) {
+			case *ast.IntLit:
+				env[gl.Name] = sym.Int(init.Value)
+			case *ast.BoolLit:
+				env[gl.Name] = sym.Bool(init.Value)
+			}
+		} else {
+			env[gl.Name] = sym.V(symbolName(gl.Name))
+		}
+	}
+	// Locals start undefined; the type checker guarantees they are assigned
+	// before use on every executable path of well-formed artifacts.
+	e.stats.StatesExplored++
+	// The empty path condition is satisfied by the least element of every
+	// input domain; seed the model cache with it.
+	model := make(map[string]int64, len(e.domains))
+	for name, d := range e.domains {
+		model[name] = d.Lo
+	}
+	return &State{Node: e.Graph.Begin, Env: env, PC: nil, Trace: nil, model: model}
+}
+
+// Step is the result of executing one CFG node symbolically.
+type Step struct {
+	// Feasible lists the feasible successor states, true-branch first.
+	Feasible []*State
+	// InfeasibleTargets lists CFG nodes that are branch targets whose branch
+	// constraint was unsatisfiable. Directed search needs these: the target
+	// instruction was reached by the executor even though no state continues
+	// through it (in SPF the branch target is touched before the solver
+	// rejects the choice), so DiSE marks it explored rather than letting an
+	// unreachable-in-context affected node attract further exploration.
+	InfeasibleTargets []*cfg.Node
+}
+
+// Successors executes the node of s and returns the feasible successor
+// states, true-branch first. It returns nil when s is at the end node or the
+// error sink (terminal states) or when the depth bound is exceeded.
+func (e *Engine) Successors(s *State) []*State {
+	return e.Step(s).Feasible
+}
+
+// Step executes the node of s, reporting both feasible successors and
+// infeasible branch targets.
+func (e *Engine) Step(s *State) Step {
+	n := s.Node
+	switch n.Kind {
+	case cfg.KindEnd, cfg.KindError:
+		return Step{}
+	}
+	if s.Depth >= e.depthBound {
+		e.stats.DepthBoundHits++
+		return Step{}
+	}
+
+	var out Step
+	switch n.Kind {
+	case cfg.KindBegin, cfg.KindNop:
+		succ := s.fork(n.Succs[0].To)
+		succ.appendTraceIfStmt(n)
+		out.Feasible = append(out.Feasible, succ)
+	case cfg.KindWrite:
+		a := n.Stmt.(*ast.Assign)
+		val := e.evalExpr(a.Value, s.Env)
+		succ := s.fork(n.Succs[0].To)
+		succ.Env[a.Name] = val
+		succ.appendTraceIfStmt(n)
+		out.Feasible = append(out.Feasible, succ)
+	case cfg.KindCond:
+		cond := e.evalExpr(n.Cond, s.Env)
+		for _, branch := range []struct {
+			c  sym.Expr
+			to *cfg.Node
+		}{
+			{cond, n.TrueSucc()},
+			{sym.NotE(cond), n.FalseSucc()},
+		} {
+			switch c := branch.c.(type) {
+			case *sym.BoolConst:
+				if !c.V {
+					// Branch statically impossible (the condition folded to a
+					// constant under this path's environment). Report the
+					// target as infeasible, like a solver-refuted branch, so
+					// the directed search marks it explored instead of
+					// chasing it through unaffected variations.
+					out.InfeasibleTargets = append(out.InfeasibleTargets, branch.to)
+					continue
+				}
+				succ := s.fork(branch.to)
+				succ.appendTraceIfStmt(n)
+				if branch.to.Kind == cfg.KindError {
+					succ.Err = true
+				}
+				out.Feasible = append(out.Feasible, succ)
+			default:
+				var model map[string]int64
+				if s.model != nil {
+					if v, err := solver.EvalInt01(c, s.model); err == nil && v != 0 {
+						// The parent's witness already satisfies the branch
+						// constraint: PC ∧ c is satisfiable without solving.
+						model = s.model
+						e.stats.ModelHits++
+					}
+				}
+				if model == nil {
+					pc := append(append([]sym.Expr{}, s.PC...), branch.c)
+					res := e.Solver.Check(pc, e.domains)
+					if !res.Sat {
+						e.stats.InfeasibleBranches++
+						out.InfeasibleTargets = append(out.InfeasibleTargets, branch.to)
+						continue
+					}
+					model = res.Model
+				}
+				succ := s.fork(branch.to)
+				succ.PC = append(succ.PC, branch.c)
+				succ.model = model
+				succ.appendTraceIfStmt(n)
+				if branch.to.Kind == cfg.KindError {
+					succ.Err = true
+				}
+				out.Feasible = append(out.Feasible, succ)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("symexec: cannot execute node %v", n))
+	}
+	e.stats.StatesExplored += len(out.Feasible)
+	return out
+}
+
+// appendTraceIfStmt records the executed node in the successor's trace when
+// it corresponds to a source statement.
+func (s *State) appendTraceIfStmt(n *cfg.Node) {
+	switch n.Kind {
+	case cfg.KindCond, cfg.KindWrite, cfg.KindNop:
+		s.Trace = append(s.Trace, n.ID)
+	}
+}
+
+// Terminal reports whether s completed a path (end node or error sink).
+func (e *Engine) Terminal(s *State) bool {
+	return s.Node.Kind == cfg.KindEnd || s.Node.Kind == cfg.KindError
+}
+
+// Collect converts a terminal state into a Path record.
+func (e *Engine) Collect(s *State) Path {
+	e.stats.PathsExplored++
+	return Path{
+		PC:       s.PC,
+		PCString: sym.Conjoin(s.PC),
+		Env:      s.Env,
+		Trace:    s.Trace,
+		Err:      s.Err || s.Node.Kind == cfg.KindError,
+	}
+}
+
+// RunFull performs full (traditional) symbolic execution: a depth-first
+// exploration of every feasible path up to the depth bound. This is the
+// "Full Symbc" control technique of the paper's evaluation.
+func (e *Engine) RunFull() *Summary {
+	start := time.Now()
+	summary := &Summary{}
+	e.runFrom(e.InitialState(), summary)
+	e.stats.Time = time.Since(start)
+	summary.Stats = e.Stats()
+	return summary
+}
+
+func (e *Engine) runFrom(s *State, summary *Summary) {
+	if e.config.MaxStates > 0 && e.stats.StatesExplored >= e.config.MaxStates {
+		e.stats.MaxStatesHit = true
+		return
+	}
+	if e.Terminal(s) {
+		summary.Paths = append(summary.Paths, e.Collect(s))
+		return
+	}
+	for _, succ := range e.Successors(s) {
+		e.runFrom(succ, summary)
+	}
+}
+
+// evalExpr maps an AST expression to a symbolic expression under env, using
+// the smart constructors so constants fold as execution proceeds.
+func (e *Engine) evalExpr(x ast.Expr, env map[string]sym.Expr) sym.Expr {
+	switch x := x.(type) {
+	case *ast.IntLit:
+		return sym.Int(x.Value)
+	case *ast.BoolLit:
+		return sym.Bool(x.Value)
+	case *ast.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v
+		}
+		// Reading an unassigned local: treat as a fresh symbol so execution
+		// can proceed; the type checker flags genuinely undefined names.
+		return sym.V(symbolName(x.Name))
+	case *ast.Unary:
+		inner := e.evalExpr(x.X, env)
+		switch x.Op {
+		case token.NOT:
+			return sym.NotE(inner)
+		case token.MINUS:
+			return sym.NegE(inner)
+		}
+	case *ast.Binary:
+		l := e.evalExpr(x.L, env)
+		r := e.evalExpr(x.R, env)
+		switch x.Op {
+		case token.PLUS:
+			return sym.Add(l, r)
+		case token.MINUS:
+			return sym.Sub(l, r)
+		case token.STAR:
+			return sym.Mul(l, r)
+		case token.SLASH:
+			return sym.Div(l, r)
+		case token.PERCENT:
+			return sym.Mod(l, r)
+		case token.EQ:
+			return sym.Cmp(sym.OpEQ, l, r)
+		case token.NEQ:
+			return sym.Cmp(sym.OpNE, l, r)
+		case token.LT:
+			return sym.Cmp(sym.OpLT, l, r)
+		case token.LE:
+			return sym.Cmp(sym.OpLE, l, r)
+		case token.GT:
+			return sym.Cmp(sym.OpGT, l, r)
+		case token.GE:
+			return sym.Cmp(sym.OpGE, l, r)
+		case token.LAND:
+			return sym.AndE(l, r)
+		case token.LOR:
+			return sym.OrE(l, r)
+		}
+	}
+	panic(fmt.Sprintf("symexec: cannot evaluate expression %T", x))
+}

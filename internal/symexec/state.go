@@ -1,0 +1,131 @@
+// Package symexec implements symbolic execution of mini-language procedures
+// over their control flow graphs.
+//
+// It provides both the full ("traditional") symbolic execution used as the
+// control in the paper's evaluation (§4.2.2) and the stepping primitives the
+// directed search of DiSE builds on: a State carries the current CFG node, a
+// symbolic environment mapping program variables to symbolic expressions,
+// and a path condition; Successors forks a state at conditional branches,
+// consulting the constraint solver to prune infeasible branches exactly as
+// described in §2.1 of the paper.
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dise/internal/cfg"
+	"dise/internal/sym"
+)
+
+// State is a symbolic program state: a program location (CFG node), symbolic
+// expressions for the program variables, and a path condition (paper §2.1).
+type State struct {
+	// Node is the next CFG node to execute.
+	Node *cfg.Node
+	// Env maps every program variable to its current symbolic expression.
+	Env map[string]sym.Expr
+	// PC is the path condition: the conjunction of branch constraints
+	// accumulated along the path to this state.
+	PC []sym.Expr
+	// Depth is the number of CFG nodes executed before reaching this state.
+	Depth int
+	// Trace is the sequence of statement-node IDs executed so far. Traces
+	// power the affected-node-sequence analysis and the Table 1 rendering.
+	Trace []int
+	// Err marks a state that reached the assertion-failure sink.
+	Err bool
+	// model is a satisfying assignment witnessing PC's feasibility. When a
+	// branch constraint is already satisfied by the parent's model, the
+	// child inherits it and no solver call is needed — the dominant case,
+	// since exactly one branch outcome agrees with any given model.
+	model map[string]int64
+}
+
+// fork returns a copy of s with fresh Env/PC/Trace backing so that sibling
+// branches do not interfere.
+func (s *State) fork(node *cfg.Node) *State {
+	env := make(map[string]sym.Expr, len(s.Env))
+	for k, v := range s.Env {
+		env[k] = v
+	}
+	pc := make([]sym.Expr, len(s.PC), len(s.PC)+1)
+	copy(pc, s.PC)
+	trace := make([]int, len(s.Trace), len(s.Trace)+1)
+	copy(trace, s.Trace)
+	return &State{
+		Node:  node,
+		Env:   env,
+		PC:    pc,
+		Depth: s.Depth + 1,
+		Trace: trace,
+		Err:   s.Err,
+		model: s.model,
+	}
+}
+
+// EnvString renders the environment deterministically: "x: X, y: Y + X".
+func (s *State) EnvString() string {
+	names := make([]string, 0, len(s.Env))
+	for n := range s.Env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s: %s", n, s.Env[n])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// PCString renders the path condition like the paper: "PC: true" when empty.
+func (s *State) PCString() string { return sym.Conjoin(s.PC) }
+
+// String renders "Loc: n3 | x: X | PC: X > 0".
+func (s *State) String() string {
+	return fmt.Sprintf("Loc: n%d | %s | PC: %s", s.Node.ID, s.EnvString(), s.PCString())
+}
+
+// Path is one complete execution path produced by symbolic execution.
+type Path struct {
+	// PC is the full path condition of the path.
+	PC []sym.Expr
+	// PCString is the canonical rendering of PC (used for comparing path
+	// conditions across techniques and versions).
+	PCString string
+	// Env is the final symbolic environment (the symbolic summary of the
+	// path's effect).
+	Env map[string]sym.Expr
+	// Trace is the sequence of statement CFG node IDs executed.
+	Trace []int
+	// Err reports that the path ended in an assertion violation.
+	Err bool
+}
+
+// Summary is the result of a symbolic execution run: the set of path
+// conditions plus cost counters, i.e. the "symbolic summary" of §2.1.
+type Summary struct {
+	Paths []Path
+	Stats Stats
+}
+
+// PathConditions returns the rendered path conditions in exploration order.
+func (s *Summary) PathConditions() []string {
+	out := make([]string, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = p.PCString
+	}
+	return out
+}
+
+// ErrorPaths returns only the paths that ended in assertion violations.
+func (s *Summary) ErrorPaths() []Path {
+	var out []Path
+	for _, p := range s.Paths {
+		if p.Err {
+			out = append(out, p)
+		}
+	}
+	return out
+}
