@@ -1,0 +1,441 @@
+package dise
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"dise/internal/cfg"
+	idise "dise/internal/dise"
+	"dise/internal/evaluation"
+	"dise/internal/inline"
+	"dise/internal/lang/ast"
+	"dise/internal/solver"
+	"dise/internal/symexec"
+)
+
+// Analyzer is the reusable, concurrency-safe entry point of the package. It
+// is meant to live for the duration of a service: construct one with
+// NewAnalyzer, then serve many Analyze/Execute/AnalyzeBatch calls against
+// it. All configuration is immutable after construction; per-request state
+// (engines, solvers) is private to each call, and the parse/CFG cache is
+// internally synchronized — so a single Analyzer may be shared freely across
+// goroutines.
+//
+// Compared with the package-level functions (now deprecated wrappers), an
+// Analyzer adds:
+//
+//   - context support: every entry point takes a context.Context, and
+//     cancellation is polled inside the symbolic-execution step loop and the
+//     constraint solver's search loop, so a cancelled request stops
+//     mid-exploration and returns an *Error with Kind Cancelled;
+//   - a parse/CFG cache keyed by source hash: repeated analyses against the
+//     same base version — the common CI workload of one base and many
+//     candidate patches — skip parsing, type checking and CFG construction;
+//   - batching (AnalyzeBatch) over a bounded worker pool, and streaming
+//     (AnalyzeStream) of affected path conditions as they are found.
+type Analyzer struct {
+	conf  analyzerConfig
+	cache *programCache
+}
+
+// analyzerConfig is the resolved option set of an Analyzer.
+type analyzerConfig struct {
+	depthBound       int
+	intDomain        *[2]int64
+	concreteGlobals  bool
+	solverNodeBudget int
+	transitiveWrites bool
+	maxStates        int
+	parallelism      int
+	cacheCapacity    int
+}
+
+// Option configures an Analyzer (functional options).
+type Option func(*analyzerConfig)
+
+// WithDepthBound limits the number of CFG nodes executed on one path
+// (loop/recursion bound, paper §2.1). Zero selects the default of 1000.
+func WithDepthBound(n int) Option { return func(c *analyzerConfig) { c.depthBound = n } }
+
+// WithIntDomain overrides the solver domain of integer symbolic inputs. The
+// default is the Choco-like non-negative range [0, 1e6].
+func WithIntDomain(lo, hi int64) Option {
+	return func(c *analyzerConfig) { c.intDomain = &[2]int64{lo, hi} }
+}
+
+// WithConcreteGlobals makes globals take their declared initializers
+// instead of fresh symbolic values.
+func WithConcreteGlobals(on bool) Option { return func(c *analyzerConfig) { c.concreteGlobals = on } }
+
+// WithSolverNodeBudget caps constraint-solver search nodes per
+// satisfiability check (0 = default). Exhausted budgets are treated as
+// unsatisfiable, as SPF does (paper §4.1).
+func WithSolverNodeBudget(n int) Option {
+	return func(c *analyzerConfig) { c.solverNodeBudget = n }
+}
+
+// WithTransitiveWrites enables the write→write dataflow extension to the
+// paper's affected-set rules (DESIGN.md §6.4).
+func WithTransitiveWrites(on bool) Option {
+	return func(c *analyzerConfig) { c.transitiveWrites = on }
+}
+
+// WithMaxStates caps the number of states explored per request; a request
+// that trips the cap fails with Kind BudgetExhausted. Zero means no cap.
+func WithMaxStates(n int) Option { return func(c *analyzerConfig) { c.maxStates = n } }
+
+// WithParallelism bounds the worker pool of AnalyzeBatch. Zero (the
+// default) selects GOMAXPROCS workers.
+func WithParallelism(n int) Option { return func(c *analyzerConfig) { c.parallelism = n } }
+
+// WithCacheCapacity bounds the parse/CFG cache to n source texts, evicting
+// least-recently-used entries. Zero selects the default of 128.
+func WithCacheCapacity(n int) Option { return func(c *analyzerConfig) { c.cacheCapacity = n } }
+
+// WithOptions applies a legacy Options struct, for callers migrating from
+// the package-level API.
+func WithOptions(o Options) Option {
+	return func(c *analyzerConfig) {
+		c.depthBound = o.DepthBound
+		c.intDomain = o.IntDomain
+		c.concreteGlobals = o.ConcreteGlobals
+		c.solverNodeBudget = o.SolverNodeBudget
+		c.transitiveWrites = o.TransitiveWrites
+	}
+}
+
+// NewAnalyzer builds an Analyzer from functional options.
+func NewAnalyzer(opts ...Option) *Analyzer {
+	var conf analyzerConfig
+	for _, o := range opts {
+		o(&conf)
+	}
+	if conf.cacheCapacity <= 0 {
+		conf.cacheCapacity = 128
+	}
+	return &Analyzer{conf: conf, cache: newProgramCache(conf.cacheCapacity)}
+}
+
+// CacheStats reports hit/miss counters of the parse/CFG cache.
+func (a *Analyzer) CacheStats() CacheStats { return a.cache.stats() }
+
+// engineConfig builds the per-request engine configuration. The context's
+// Err is polled once per executed CFG node and once per solver search node,
+// which is what makes cancellation take effect within one scheduling quantum
+// of the step loop.
+func (a *Analyzer) engineConfig(ctx context.Context) symexec.Config {
+	cfg := symexec.Config{
+		DepthBound:      a.conf.depthBound,
+		MaxStates:       a.conf.maxStates,
+		ConcreteGlobals: a.conf.concreteGlobals,
+		SolverOptions:   solver.Options{NodeBudget: a.conf.solverNodeBudget},
+	}
+	if a.conf.intDomain != nil {
+		cfg.IntDomain = solver.Interval{Lo: a.conf.intDomain[0], Hi: a.conf.intDomain[1]}
+	}
+	if ctx != nil && ctx.Done() != nil {
+		cfg.Interrupt = ctx.Err
+		cfg.SolverOptions.Interrupt = ctx.Err
+	}
+	return cfg
+}
+
+// resultConfig is the engine configuration stored on results for later test
+// generation — identical to the request's, minus its context hooks.
+func (a *Analyzer) resultConfig() symexec.Config { return a.engineConfig(context.Background()) }
+
+// Request describes one differential analysis.
+type Request struct {
+	// BaseSrc and ModSrc are the source texts of the two program versions.
+	BaseSrc, ModSrc string
+	// Proc is the procedure under analysis (for inter-procedural requests,
+	// the entry procedure).
+	Proc string
+	// Interprocedural inlines every call reachable from Proc in both
+	// versions before the differential analysis (paper §7, realized via the
+	// inline package). Requires an acyclic call graph and single-exit
+	// callees.
+	Interprocedural bool
+}
+
+// Analyze runs the full DiSE pipeline — diff, affected locations, directed
+// symbolic execution — for one request. On failure it returns an *Error
+// whose Kind distinguishes bad input (ParseError, TypeError, UnknownProc)
+// from operational outcomes (Cancelled, BudgetExhausted).
+func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+	return a.analyze(ctx, req, nil)
+}
+
+// AnalyzeStream is Analyze, but yield receives every affected path
+// condition as the directed search finds it, instead of only at the end.
+// Returning false from yield stops the search; the returned Result then
+// holds the paths delivered so far. Yield is called from the request's own
+// goroutine, never concurrently.
+func (a *Analyzer) AnalyzeStream(ctx context.Context, req Request, yield func(PathInfo) bool) (*Result, error) {
+	return a.analyze(ctx, req, yield)
+}
+
+func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo) bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Kind: Cancelled, Err: err}
+	}
+
+	baseEntry, err := a.cache.get(req.BaseSrc)
+	if err != nil {
+		return nil, errKind(ParseError, "base version", err)
+	}
+	modEntry, err := a.cache.get(req.ModSrc)
+	if err != nil {
+		return nil, errKind(ParseError, "modified version", err)
+	}
+
+	baseProg, modProg := baseEntry.prog, modEntry.prog
+	var (
+		baseProc, modProc   *ast.Procedure
+		baseGraph, modGraph *cfg.Graph
+	)
+	if req.Interprocedural {
+		if baseProg.Proc(req.Proc) == nil {
+			return nil, &Error{Kind: UnknownProc, Stage: "base version", Err: errProcNotFound(req.Proc)}
+		}
+		if modProg.Proc(req.Proc) == nil {
+			return nil, &Error{Kind: UnknownProc, Stage: "modified version", Err: errProcNotFound(req.Proc)}
+		}
+		// Inlined programs are derived per request and not cached: the
+		// cache's unit is a source text, and inlining is cheap next to the
+		// exploration it feeds.
+		baseFlat, err := inline.Program(baseProg, req.Proc)
+		if err != nil {
+			return nil, errKind(UnknownProc, "base version", err)
+		}
+		modFlat, err := inline.Program(modProg, req.Proc)
+		if err != nil {
+			return nil, errKind(UnknownProc, "modified version", err)
+		}
+		baseProg, modProg = baseFlat, modFlat
+		baseProc = baseFlat.Proc(req.Proc)
+		modProc = modFlat.Proc(req.Proc)
+	} else {
+		if baseProc = baseProg.Proc(req.Proc); baseProc == nil {
+			return nil, &Error{Kind: UnknownProc, Stage: "base version", Err: errProcNotFound(req.Proc)}
+		}
+		if modProc = modProg.Proc(req.Proc); modProc == nil {
+			return nil, &Error{Kind: UnknownProc, Stage: "modified version", Err: errProcNotFound(req.Proc)}
+		}
+		// Validate before building CFGs: cfg.Build rejects unexpanded calls.
+		if err := symexec.CheckNoCalls(baseProc); err != nil {
+			return nil, &Error{Kind: TypeError, Stage: "base version", Err: err}
+		}
+		if err := symexec.CheckNoCalls(modProc); err != nil {
+			return nil, &Error{Kind: TypeError, Stage: "modified version", Err: err}
+		}
+		baseGraph = baseEntry.graph(baseProc)
+		modGraph = modEntry.graph(modProc)
+	}
+
+	engine, err := symexec.NewPrepared(modProg, modProc, modGraph, a.engineConfig(ctx))
+	if err != nil {
+		return nil, err
+	}
+	var onPath func(symexec.Path) bool
+	if yield != nil {
+		onPath = func(p symexec.Path) bool {
+			return yield(PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+		}
+	}
+	res := idise.Run(idise.Job{
+		BaseProc:  baseProc,
+		BaseGraph: baseGraph,
+		Engine:    engine,
+		Opts:      idise.Options{TransitiveWrites: a.conf.transitiveWrites},
+		OnPath:    onPath,
+	})
+	if err := engine.InterruptErr(); err != nil {
+		return nil, &Error{Kind: Cancelled, Err: err}
+	}
+	if res.Summary.Stats.MaxStatesHit {
+		return nil, &Error{Kind: BudgetExhausted}
+	}
+
+	out := &Result{
+		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths)),
+		ChangedNodes:             res.Affected.ChangedNodes,
+		AffectedConditionalLines: res.Affected.ACNLines(),
+		AffectedWriteLines:       res.Affected.AWNLines(),
+		internal:                 res,
+		config:                   a.resultConfig(),
+		modProg:                  modProg,
+		procName:                 req.Proc,
+	}
+	for _, p := range res.Summary.Paths {
+		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+	}
+	return out, nil
+}
+
+// AnalyzeInterprocedural runs DiSE over a whole multi-procedure program:
+// both versions are inlined from the entry procedure and the
+// intra-procedural pipeline analyzes the result (paper §7).
+func (a *Analyzer) AnalyzeInterprocedural(ctx context.Context, baseSrc, modSrc, entryProc string) (*Result, error) {
+	return a.Analyze(ctx, Request{BaseSrc: baseSrc, ModSrc: modSrc, Proc: entryProc, Interprocedural: true})
+}
+
+// BatchResult pairs one request of an AnalyzeBatch call with its outcome.
+// Exactly one of Result and Err is non-nil.
+type BatchResult struct {
+	// Index is the position of the request in the batch; results are also
+	// returned in request order, so out[i].Index == i.
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// AnalyzeBatch analyzes every request, fanning the work across a bounded
+// worker pool (WithParallelism). Results are in request order and each
+// request fails independently; a cancelled context makes the remaining
+// requests fail fast with Kind Cancelled. Because requests in one batch
+// typically share a base version, the parse/CFG cache makes the fan-out
+// cheap: the base is parsed once, not once per worker.
+func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	workers := a.conf.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := a.Analyze(ctx, reqs[i])
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Execute runs full (traditional) symbolic execution of procedure procName
+// — the control technique of the paper's evaluation ("Full Symbc").
+func (a *Analyzer) Execute(ctx context.Context, src, procName string) (*Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Kind: Cancelled, Err: err}
+	}
+	engine, err := a.prepareEngine(ctx, src, procName)
+	if err != nil {
+		return nil, err
+	}
+	summary := engine.RunFull()
+	if err := engine.InterruptErr(); err != nil {
+		return nil, &Error{Kind: Cancelled, Err: err}
+	}
+	if summary.Stats.MaxStatesHit && a.conf.maxStates > 0 {
+		return nil, &Error{Kind: BudgetExhausted}
+	}
+	out := &Summary{engine: engine, summary: summary, Stats: statsOf(summary.Stats, len(summary.Paths))}
+	for _, p := range summary.Paths {
+		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+	}
+	return out, nil
+}
+
+// ExecutionTree renders the symbolic execution tree (paper Fig. 1) of
+// procedure procName. Intended for small programs: the tree output grows
+// with the number of states.
+func (a *Analyzer) ExecutionTree(ctx context.Context, src, procName string) (string, error) {
+	engine, err := a.prepareEngine(ctx, src, procName)
+	if err != nil {
+		return "", err
+	}
+	tree := engine.BuildTree()
+	if err := engine.InterruptErr(); err != nil {
+		return "", &Error{Kind: Cancelled, Err: err}
+	}
+	return tree.Render(), nil
+}
+
+// prepareEngine resolves src and procName through the cache into a ready
+// engine.
+func (a *Analyzer) prepareEngine(ctx context.Context, src, procName string) (*symexec.Engine, error) {
+	entry, err := a.cache.get(src)
+	if err != nil {
+		return nil, errKind(ParseError, "", err)
+	}
+	proc := entry.prog.Proc(procName)
+	if proc == nil {
+		return nil, &Error{Kind: UnknownProc, Err: errProcNotFound(procName)}
+	}
+	if err := symexec.CheckNoCalls(proc); err != nil {
+		return nil, &Error{Kind: TypeError, Err: err}
+	}
+	return symexec.NewPrepared(entry.prog, proc, entry.graph(proc), a.engineConfig(ctx))
+}
+
+// CFGDot renders the control flow graph of procedure procName in Graphviz
+// DOT format (paper Fig. 2(b)).
+func (a *Analyzer) CFGDot(src, procName string) (string, error) {
+	entry, err := a.cache.get(src)
+	if err != nil {
+		return "", errKind(ParseError, "", err)
+	}
+	proc := entry.prog.Proc(procName)
+	if proc == nil {
+		return "", &Error{Kind: UnknownProc, Err: errProcNotFound(procName)}
+	}
+	return entry.graph(proc).Dot(cfg.DotOptions{Title: procName}), nil
+}
+
+// AffectedCFGDot renders the modified version's CFG with affected nodes
+// highlighted: affected conditionals in light red, affected writes in light
+// blue, like the shading of the paper's Fig. 2(b).
+func (a *Analyzer) AffectedCFGDot(ctx context.Context, baseSrc, modSrc, procName string) (string, error) {
+	res, err := a.Analyze(ctx, Request{BaseSrc: baseSrc, ModSrc: modSrc, Proc: procName})
+	if err != nil {
+		return "", err
+	}
+	g := res.internal.ModGraph
+	highlight := map[int]string{}
+	for id := range res.internal.Affected.ACN {
+		highlight[id] = "lightcoral"
+	}
+	for id := range res.internal.Affected.AWN {
+		highlight[id] = "lightblue"
+	}
+	return g.Dot(cfg.DotOptions{Title: procName, Highlight: highlight}), nil
+}
+
+// EvaluationTables regenerates Table 2 and Table 3 of the paper for the
+// named artifact ("ASW", "WBS" or "OAE"). The context cancels the underlying
+// symbolic execution runs.
+func (a *Analyzer) EvaluationTables(ctx context.Context, artifact string) (table2, table3 string, err error) {
+	art, ok := artifactByName(artifact)
+	if !ok {
+		return "", "", errUnknownArtifact(artifact)
+	}
+	res, err := evaluation.Run(art, a.engineConfig(ctx))
+	if err != nil {
+		return "", "", err
+	}
+	if err := ctx.Err(); err != nil {
+		return "", "", &Error{Kind: Cancelled, Err: err}
+	}
+	return res.Table2(), res.Table3(), nil
+}
+
+// errProcNotFound is the shared cause message for UnknownProc errors.
+func errProcNotFound(name string) error { return &procNotFoundError{name} }
+
+type procNotFoundError struct{ name string }
+
+func (e *procNotFoundError) Error() string { return "procedure \"" + e.name + "\" not found" }

@@ -1,0 +1,124 @@
+package dise
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"dise/internal/cfg"
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+	"dise/internal/lang/types"
+)
+
+// cachedProgram is an immutable parse + type-check bundle for one source
+// text, with per-procedure CFGs built (and their analyses precomputed) on
+// first use. Everything reachable from it is read-only after construction,
+// so one entry can serve concurrent analyses — the point of the cache in the
+// one-base-many-patches CI workload.
+type cachedProgram struct {
+	prog *ast.Program
+
+	mu     sync.Mutex
+	graphs map[string]*cfg.Graph
+}
+
+// graph returns the procedure's CFG, building and precomputing it once.
+// Precomputing the reachability/post-dominance/SCC analyses up front means
+// later readers never write to the graph, making it safe to share across
+// the batch worker pool.
+func (c *cachedProgram) graph(proc *ast.Procedure) *cfg.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.graphs[proc.Name]; ok {
+		return g
+	}
+	g := cfg.Build(proc)
+	g.Precompute()
+	c.graphs[proc.Name] = g
+	return g
+}
+
+// CacheStats reports the effectiveness of an Analyzer's parse/CFG cache.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// programCache is a bounded, concurrency-safe LRU of parsed programs keyed
+// by the SHA-256 of their source text.
+type programCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[[sha256.Size]byte]*list.Element
+	lru      *list.List // of *cacheSlot, front = most recent
+	hits     int64
+	misses   int64
+}
+
+type cacheSlot struct {
+	key  [sha256.Size]byte
+	prog *cachedProgram
+}
+
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		capacity: capacity,
+		entries:  map[[sha256.Size]byte]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached bundle for src, parsing and type-checking on a
+// miss. Parse and type failures are classified (ParseError/TypeError) and
+// never cached: source that fails today may be retried cheaply, and failed
+// requests should not evict useful entries.
+func (pc *programCache) get(src string) (*cachedProgram, error) {
+	key := sha256.Sum256([]byte(src))
+	pc.mu.Lock()
+	if el, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(el)
+		pc.hits++
+		entry := el.Value.(*cacheSlot).prog
+		pc.mu.Unlock()
+		return entry, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+
+	// Parse outside the lock: concurrent misses on the same source duplicate
+	// work at most once each, which beats serializing every request behind
+	// one parse.
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, &Error{Kind: ParseError, Err: err}
+	}
+	if _, err := types.Check(prog); err != nil {
+		return nil, &Error{Kind: TypeError, Err: err}
+	}
+	entry := &cachedProgram{prog: prog, graphs: map[string]*cfg.Graph{}}
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[key]; ok {
+		// A concurrent request inserted it first; keep that copy so everyone
+		// shares one AST.
+		pc.lru.MoveToFront(el)
+		return el.Value.(*cacheSlot).prog, nil
+	}
+	pc.entries[key] = pc.lru.PushFront(&cacheSlot{key: key, prog: entry})
+	for pc.capacity > 0 && pc.lru.Len() > pc.capacity {
+		oldest := pc.lru.Back()
+		pc.lru.Remove(oldest)
+		delete(pc.entries, oldest.Value.(*cacheSlot).key)
+	}
+	return entry, nil
+}
+
+// stats snapshots hit/miss counters.
+func (pc *programCache) stats() CacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return CacheStats{Hits: pc.hits, Misses: pc.misses, Entries: pc.lru.Len()}
+}

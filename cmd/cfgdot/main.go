@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dise"
 )
@@ -30,6 +32,9 @@ func main() {
 	src, err := os.ReadFile(*srcPath)
 	exitOn(err)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	procName := *proc
 	if procName == "" {
 		prog, err := dise.ParseProgram(string(src))
@@ -41,14 +46,15 @@ func main() {
 		procName = procs[0]
 	}
 
+	a := dise.NewAnalyzer()
 	var dot string
 	if *basePath != "" {
 		base, err := os.ReadFile(*basePath)
 		exitOn(err)
-		dot, err = dise.AffectedCFGDot(string(base), string(src), procName, dise.Options{})
+		dot, err = a.AffectedCFGDot(ctx, string(base), string(src), procName)
 		exitOn(err)
 	} else {
-		dot, err = dise.CFGDot(string(src), procName)
+		dot, err = a.CFGDot(string(src), procName)
 		exitOn(err)
 	}
 	fmt.Print(dot)

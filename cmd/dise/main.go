@@ -1,19 +1,34 @@
 // Command dise runs Directed Incremental Symbolic Execution on two versions
 // of a procedure and prints the affected locations, the affected path
-// conditions, and (optionally) regression tests.
+// conditions, and (optionally) regression tests. Ctrl-C cancels the
+// analysis cleanly through the Analyzer's context plumbing.
 //
 // Usage:
 //
-//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N]
+//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dise"
 )
+
+// jsonResult is the machine-readable output of -json.
+type jsonResult struct {
+	Procedure                string          `json:"procedure"`
+	ChangedNodes             int             `json:"changed_nodes"`
+	AffectedConditionalLines []int           `json:"affected_conditional_lines"`
+	AffectedWriteLines       []int           `json:"affected_write_lines"`
+	Stats                    dise.Stats      `json:"stats"`
+	Paths                    []dise.PathInfo `json:"paths"`
+	Tests                    []dise.TestCase `json:"tests,omitempty"`
+}
 
 func main() {
 	basePath := flag.String("base", "", "path to the base (original) version source")
@@ -21,16 +36,20 @@ func main() {
 	proc := flag.String("proc", "", "procedure under analysis (default: the only procedure)")
 	depth := flag.Int("depth", 0, "symbolic execution depth bound (0 = default)")
 	tests := flag.Bool("tests", false, "also solve affected path conditions into test inputs")
+	asJSON := flag.Bool("json", false, "emit the result as machine-readable JSON")
 	flag.Parse()
 
 	if *basePath == "" || *modPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N]")
+		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json]")
 		os.Exit(2)
 	}
 	baseSrc, err := os.ReadFile(*basePath)
 	exitOn(err)
 	modSrc, err := os.ReadFile(*modPath)
 	exitOn(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	procName := *proc
 	if procName == "" {
@@ -43,8 +62,34 @@ func main() {
 		procName = procs[0]
 	}
 
-	res, err := dise.Analyze(string(baseSrc), string(modSrc), procName, dise.Options{DepthBound: *depth})
+	a := dise.NewAnalyzer(dise.WithDepthBound(*depth))
+	res, err := a.Analyze(ctx, dise.Request{
+		BaseSrc: string(baseSrc),
+		ModSrc:  string(modSrc),
+		Proc:    procName,
+	})
 	exitOn(err)
+
+	if *asJSON {
+		var ts []dise.TestCase
+		if *tests {
+			ts, err = res.Tests()
+			exitOn(err)
+		}
+		out := jsonResult{
+			Procedure:                procName,
+			ChangedNodes:             res.ChangedNodes,
+			AffectedConditionalLines: res.AffectedConditionalLines,
+			AffectedWriteLines:       res.AffectedWriteLines,
+			Stats:                    res.Stats,
+			Paths:                    res.Paths,
+			Tests:                    ts,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(out))
+		return
+	}
 
 	fmt.Printf("procedure:            %s\n", procName)
 	fmt.Printf("changed CFG nodes:    %d\n", res.ChangedNodes)
@@ -61,8 +106,9 @@ func main() {
 		}
 		fmt.Printf("  PC%-3d %s%s\n", i+1, p.PathCondition, marker)
 	}
-
 	if *tests {
+		// Solved after the report so a test-generation failure never eats
+		// the analysis output.
 		ts, err := res.Tests()
 		exitOn(err)
 		fmt.Printf("test inputs: %d\n", len(ts))

@@ -1,5 +1,6 @@
 // Command evaltables regenerates the evaluation tables of the DiSE paper
-// (Tables 2(a)–(c) and 3(a)–(c)) on the re-created artifacts.
+// (Tables 2(a)–(c) and 3(a)–(c)) on the re-created artifacts. Ctrl-C
+// cancels the (long) symbolic execution runs mid-exploration.
 //
 // Usage:
 //
@@ -8,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dise"
 )
@@ -20,13 +23,16 @@ func main() {
 	depth := flag.Int("depth", 0, "depth bound (0 = default)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	names := dise.EvaluationArtifacts()
 	if *artifact != "" {
 		names = []string{*artifact}
 	}
-	opts := dise.Options{DepthBound: *depth}
+	a := dise.NewAnalyzer(dise.WithDepthBound(*depth))
 	for _, name := range names {
-		t2, t3, err := dise.EvaluationTables(name, opts)
+		t2, t3, err := a.EvaluationTables(ctx, name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evaltables:", err)
 			os.Exit(1)

@@ -1,6 +1,7 @@
 // Command symexec runs full (traditional) symbolic execution of a procedure
 // and prints its path conditions — the control technique of the paper's
 // evaluation — or, with -tree, the symbolic execution tree of Fig. 1.
+// Ctrl-C cancels the exploration mid-search.
 //
 // Usage:
 //
@@ -8,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dise"
 )
@@ -30,6 +33,9 @@ func main() {
 	src, err := os.ReadFile(*srcPath)
 	exitOn(err)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	procName := *proc
 	if procName == "" {
 		prog, err := dise.ParseProgram(string(src))
@@ -40,16 +46,16 @@ func main() {
 		}
 		procName = procs[0]
 	}
-	opts := dise.Options{DepthBound: *depth}
+	a := dise.NewAnalyzer(dise.WithDepthBound(*depth))
 
 	if *tree {
-		rendered, err := dise.ExecutionTree(string(src), procName, opts)
+		rendered, err := a.ExecutionTree(ctx, string(src), procName)
 		exitOn(err)
 		fmt.Print(rendered)
 		return
 	}
 
-	sum, err := dise.Execute(string(src), procName, opts)
+	sum, err := a.Execute(ctx, string(src), procName)
 	exitOn(err)
 	fmt.Printf("procedure:       %s\n", procName)
 	fmt.Printf("states explored: %d\n", sum.Stats.StatesExplored)

@@ -5,35 +5,45 @@
 // control dependence and SCC analyses; a structural AST diff; a symbolic
 // execution engine; and a Choco-style finite-domain constraint solver.
 //
-// The package is a facade over the internal packages: it parses two versions
-// of a program, diffs them, computes the affected-location sets (ACN/AWN,
-// paper Fig. 3–5), runs the directed symbolic execution (paper Fig. 6), and
-// exposes the resulting affected path conditions, cost statistics, and
-// regression-test selection/augmentation (paper §5.2).
+// The public API is the Analyzer: a reusable, concurrency-safe service
+// object that parses two versions of a program, diffs them, computes the
+// affected-location sets (ACN/AWN, paper Fig. 3–5), runs the directed
+// symbolic execution (paper Fig. 6), and exposes the resulting affected
+// path conditions, cost statistics, and regression-test
+// selection/augmentation (paper §5.2). Analyses accept a context.Context
+// (cancellation reaches the innermost search loops), reuse a parse/CFG
+// cache across requests, and can be batched or streamed.
 //
 // Quick start:
 //
-//	res, err := dise.Analyze(baseSrc, modSrc, "update", dise.Options{})
+//	a := dise.NewAnalyzer()
+//	res, err := a.Analyze(ctx, dise.Request{BaseSrc: baseSrc, ModSrc: modSrc, Proc: "update"})
 //	for _, pc := range res.PathConditions() { fmt.Println(pc) }
+//
+// The package-level functions (Analyze, Execute, ...) are deprecated thin
+// wrappers over a throwaway Analyzer, kept for compatibility.
 package dise
 
 import (
+	"context"
 	"fmt"
 
 	"dise/internal/artifacts"
-	"dise/internal/cfg"
 	idise "dise/internal/dise"
-	"dise/internal/evaluation"
 	"dise/internal/inline"
 	"dise/internal/lang/ast"
 	"dise/internal/lang/parser"
 	"dise/internal/lang/types"
-	"dise/internal/solver"
 	"dise/internal/symexec"
 	"dise/internal/testgen"
 )
 
 // Options configures an analysis.
+//
+// Deprecated: Options is the configuration struct of the legacy
+// package-level API. New code should construct an Analyzer with functional
+// options (WithDepthBound, WithIntDomain, ...); WithOptions adapts an
+// existing Options value.
 type Options struct {
 	// DepthBound limits the number of CFG nodes executed on one path
 	// (loop/recursion bound, paper §2.1). Zero selects the default of 1000.
@@ -54,17 +64,8 @@ type Options struct {
 	TransitiveWrites bool
 }
 
-func (o Options) engineConfig() symexec.Config {
-	cfg := symexec.Config{
-		DepthBound:      o.DepthBound,
-		ConcreteGlobals: o.ConcreteGlobals,
-		SolverOptions:   solver.Options{NodeBudget: o.SolverNodeBudget},
-	}
-	if o.IntDomain != nil {
-		cfg.IntDomain = solver.Interval{Lo: o.IntDomain[0], Hi: o.IntDomain[1]}
-	}
-	return cfg
-}
+// analyzer builds a single-use Analyzer mirroring the legacy options.
+func (o Options) analyzer() *Analyzer { return NewAnalyzer(WithOptions(o)) }
 
 // Program is a parsed and type-checked program.
 type Program struct {
@@ -76,10 +77,10 @@ type Program struct {
 func ParseProgram(src string) (*Program, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, &Error{Kind: ParseError, Err: err}
 	}
 	if _, err := types.Check(prog); err != nil {
-		return nil, err
+		return nil, &Error{Kind: TypeError, Err: err}
 	}
 	return &Program{AST: prog, src: src}, nil
 }
@@ -100,19 +101,19 @@ func (p *Program) Pretty() string { return ast.Pretty(p.AST) }
 type PathInfo struct {
 	// PathCondition is the rendered path condition, e.g.
 	// "PedalPos <= 0 && BSwitch == 0".
-	PathCondition string
+	PathCondition string `json:"path_condition"`
 	// AssertViolated reports that the path ends in an assertion failure.
-	AssertViolated bool
+	AssertViolated bool `json:"assert_violated"`
 }
 
 // Stats summarizes the cost of a symbolic execution run (the dependent
 // variables of the paper's evaluation, §4.2.2).
 type Stats struct {
-	StatesExplored     int
-	PathConditions     int
-	InfeasibleBranches int
-	TimeMilliseconds   int64
-	SolverCalls        int
+	StatesExplored     int   `json:"states_explored"`
+	PathConditions     int   `json:"path_conditions"`
+	InfeasibleBranches int   `json:"infeasible_branches"`
+	TimeMilliseconds   int64 `json:"time_ms"`
+	SolverCalls        int   `json:"solver_calls"`
 }
 
 func statsOf(s symexec.Stats, pcs int) Stats {
@@ -155,44 +156,23 @@ func (r *Result) PathConditions() []string {
 }
 
 // Analyze runs the full DiSE pipeline on two versions of procedure procName
-// given as source text. Per the paper (§3.1), the two sources are the only
-// inputs: no state from previous analysis runs is needed.
+// given as source text.
+//
+// Deprecated: use Analyzer.Analyze, which accepts a context and reuses a
+// parse/CFG cache across calls.
 func Analyze(baseSrc, modSrc, procName string, opts Options) (*Result, error) {
-	base, err := ParseProgram(baseSrc)
-	if err != nil {
-		return nil, fmt.Errorf("base version: %w", err)
-	}
-	mod, err := ParseProgram(modSrc)
-	if err != nil {
-		return nil, fmt.Errorf("modified version: %w", err)
-	}
-	return analyzePrograms(base, mod, procName, opts)
+	return opts.analyzer().Analyze(context.Background(),
+		Request{BaseSrc: baseSrc, ModSrc: modSrc, Proc: procName})
 }
 
 // AnalyzeInterprocedural runs DiSE over a whole multi-procedure program:
 // both versions are inlined from the entry procedure (expanding every call,
 // see internal/inline) and the intra-procedural pipeline analyzes the
-// result. This realizes the paper's §7 future work — changes inside callees
-// flow into caller conditionals through parameters and globals. Requires an
-// acyclic call graph and single-exit callees.
+// result. Requires an acyclic call graph and single-exit callees.
+//
+// Deprecated: use Analyzer.AnalyzeInterprocedural.
 func AnalyzeInterprocedural(baseSrc, modSrc, entryProc string, opts Options) (*Result, error) {
-	base, err := ParseProgram(baseSrc)
-	if err != nil {
-		return nil, fmt.Errorf("base version: %w", err)
-	}
-	mod, err := ParseProgram(modSrc)
-	if err != nil {
-		return nil, fmt.Errorf("modified version: %w", err)
-	}
-	baseFlat, err := inline.Program(base.AST, entryProc)
-	if err != nil {
-		return nil, fmt.Errorf("base version: %w", err)
-	}
-	modFlat, err := inline.Program(mod.AST, entryProc)
-	if err != nil {
-		return nil, fmt.Errorf("modified version: %w", err)
-	}
-	return analyzePrograms(&Program{AST: baseFlat}, &Program{AST: modFlat}, entryProc, opts)
+	return opts.analyzer().AnalyzeInterprocedural(context.Background(), baseSrc, modSrc, entryProc)
 }
 
 // InlineProgram expands every call reachable from entryProc and returns the
@@ -207,29 +187,6 @@ func InlineProgram(src, entryProc string) (string, error) {
 		return "", err
 	}
 	return ast.Pretty(flat), nil
-}
-
-func analyzePrograms(base, mod *Program, procName string, opts Options) (*Result, error) {
-	config := opts.engineConfig()
-	res, err := idise.AnalyzeOpts(base.AST, mod.AST, procName, config,
-		idise.Options{TransitiveWrites: opts.TransitiveWrites})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{
-		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths)),
-		ChangedNodes:             res.Affected.ChangedNodes,
-		AffectedConditionalLines: res.Affected.ACNLines(),
-		AffectedWriteLines:       res.Affected.AWNLines(),
-		internal:                 res,
-		config:                   config,
-		modProg:                  mod.AST,
-		procName:                 procName,
-	}
-	for _, p := range res.Summary.Paths {
-		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
-	}
-	return out, nil
 }
 
 // Summary is the outcome of full (traditional) symbolic execution.
@@ -252,43 +209,25 @@ func (s *Summary) PathConditions() []string {
 
 // Execute runs full symbolic execution of procedure procName — the paper's
 // control technique ("Full Symbc").
+//
+// Deprecated: use Analyzer.Execute.
 func Execute(src, procName string, opts Options) (*Summary, error) {
-	prog, err := ParseProgram(src)
-	if err != nil {
-		return nil, err
-	}
-	engine, err := symexec.New(prog.AST, procName, opts.engineConfig())
-	if err != nil {
-		return nil, err
-	}
-	summary := engine.RunFull()
-	out := &Summary{engine: engine, summary: summary, Stats: statsOf(summary.Stats, len(summary.Paths))}
-	for _, p := range summary.Paths {
-		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
-	}
-	return out, nil
+	return opts.analyzer().Execute(context.Background(), src, procName)
 }
 
 // ExecutionTree renders the symbolic execution tree (paper Fig. 1) of
-// procedure procName. Intended for small programs: the tree output grows
-// with the number of states.
+// procedure procName.
+//
+// Deprecated: use Analyzer.ExecutionTree.
 func ExecutionTree(src, procName string, opts Options) (string, error) {
-	prog, err := ParseProgram(src)
-	if err != nil {
-		return "", err
-	}
-	engine, err := symexec.New(prog.AST, procName, opts.engineConfig())
-	if err != nil {
-		return "", err
-	}
-	return engine.BuildTree().Render(), nil
+	return opts.analyzer().ExecutionTree(context.Background(), src, procName)
 }
 
 // TestCase is a concrete invocation of the procedure under analysis,
 // rendered as a call string (paper §5.2).
 type TestCase struct {
-	Call          string
-	PathCondition string
+	Call          string `json:"call"`
+	PathCondition string `json:"path_condition"`
 }
 
 // Tests solves the summary's path conditions into concrete test inputs.
@@ -341,36 +280,18 @@ func SelectAugment(baseSuite, diseTests []TestCase) Selection {
 
 // CFGDot renders the control flow graph of procedure procName in Graphviz
 // DOT format (paper Fig. 2(b)).
+//
+// Deprecated: use Analyzer.CFGDot.
 func CFGDot(src, procName string) (string, error) {
-	prog, err := ParseProgram(src)
-	if err != nil {
-		return "", err
-	}
-	pr := prog.AST.Proc(procName)
-	if pr == nil {
-		return "", fmt.Errorf("procedure %q not found", procName)
-	}
-	g := cfg.Build(pr)
-	return g.Dot(cfg.DotOptions{Title: procName}), nil
+	return NewAnalyzer().CFGDot(src, procName)
 }
 
 // AffectedCFGDot renders the modified version's CFG with affected nodes
-// highlighted: affected conditionals in light red, affected writes in light
-// blue, like the shading of the paper's Fig. 2(b).
+// highlighted.
+//
+// Deprecated: use Analyzer.AffectedCFGDot.
 func AffectedCFGDot(baseSrc, modSrc, procName string, opts Options) (string, error) {
-	res, err := Analyze(baseSrc, modSrc, procName, opts)
-	if err != nil {
-		return "", err
-	}
-	g := res.internal.ModGraph
-	highlight := map[int]string{}
-	for id := range res.internal.Affected.ACN {
-		highlight[id] = "lightcoral"
-	}
-	for id := range res.internal.Affected.AWN {
-		highlight[id] = "lightblue"
-	}
-	return g.Dot(cfg.DotOptions{Title: procName, Highlight: highlight}), nil
+	return opts.analyzer().AffectedCFGDot(context.Background(), baseSrc, modSrc, procName)
 }
 
 // EvaluationArtifacts lists the names of the built-in evaluation artifacts
@@ -385,14 +306,15 @@ func EvaluationArtifacts() []string {
 
 // EvaluationTables regenerates Table 2 and Table 3 of the paper for the
 // named artifact ("ASW", "WBS" or "OAE") and returns their rendered forms.
+//
+// Deprecated: use Analyzer.EvaluationTables.
 func EvaluationTables(artifact string, opts Options) (table2, table3 string, err error) {
-	a, ok := artifacts.ByName(artifact)
-	if !ok {
-		return "", "", fmt.Errorf("unknown artifact %q (have %v)", artifact, EvaluationArtifacts())
-	}
-	res, err := evaluation.Run(a, opts.engineConfig())
-	if err != nil {
-		return "", "", err
-	}
-	return res.Table2(), res.Table3(), nil
+	return opts.analyzer().EvaluationTables(context.Background(), artifact)
+}
+
+// artifactByName resolves an evaluation artifact for Analyzer.EvaluationTables.
+func artifactByName(name string) (artifacts.Artifact, bool) { return artifacts.ByName(name) }
+
+func errUnknownArtifact(name string) error {
+	return fmt.Errorf("unknown artifact %q (have %v)", name, EvaluationArtifacts())
 }

@@ -1,0 +1,89 @@
+package dise
+
+import "fmt"
+
+// ErrorKind classifies Analyzer failures so that service callers can route
+// them without string matching: client errors (bad source, unknown
+// procedure) versus operational outcomes (cancellation, exhausted budgets).
+type ErrorKind int
+
+const (
+	// ParseError reports that a source text failed to parse.
+	ParseError ErrorKind = iota + 1
+	// TypeError reports that a source text parsed but failed the type
+	// check, or that the requested procedure is not analyzable as given
+	// (e.g. it contains calls that must be expanded with inlining first).
+	TypeError
+	// UnknownProc reports that the requested procedure does not exist in the
+	// program.
+	UnknownProc
+	// Cancelled reports that the request's context was cancelled (or its
+	// deadline expired) mid-analysis; the underlying error is ctx.Err().
+	Cancelled
+	// BudgetExhausted reports that the exploration hit the state budget
+	// configured with WithMaxStates before completing.
+	BudgetExhausted
+)
+
+// String returns the kind's name.
+func (k ErrorKind) String() string {
+	switch k {
+	case ParseError:
+		return "parse error"
+	case TypeError:
+		return "type error"
+	case UnknownProc:
+		return "unknown procedure"
+	case Cancelled:
+		return "cancelled"
+	case BudgetExhausted:
+		return "budget exhausted"
+	}
+	return fmt.Sprintf("ErrorKind(%d)", int(k))
+}
+
+// Error is the structured error of the Analyzer API.
+type Error struct {
+	// Kind classifies the failure.
+	Kind ErrorKind
+	// Stage names the input or phase the failure belongs to, e.g.
+	// "base version" or "modified version". May be empty.
+	Stage string
+	// Err is the underlying cause: the parser or type-checker error,
+	// ctx.Err() for Cancelled, nil for BudgetExhausted.
+	Err error
+}
+
+// Error renders "base version: parse error: ...".
+func (e *Error) Error() string {
+	msg := e.Kind.String()
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	if e.Stage != "" {
+		return e.Stage + ": " + msg
+	}
+	return msg
+}
+
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) works on
+// Cancelled errors.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, &dise.Error{Kind: k}) match on kind alone.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Kind == e.Kind && (t.Stage == "" || t.Stage == e.Stage)
+}
+
+// errKind builds an *Error, leaving already-classified errors intact (the
+// innermost classification wins, but an empty stage is filled in).
+func errKind(kind ErrorKind, stage string, err error) *Error {
+	if inner, ok := err.(*Error); ok {
+		if inner.Stage == "" {
+			inner.Stage = stage
+		}
+		return inner
+	}
+	return &Error{Kind: kind, Stage: stage, Err: err}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -63,6 +64,9 @@ func main() {
 	// protect() conditional two calls away.
 	modSystem := strings.Replace(baseSystem, "Pressure = adjusted;", "Pressure = adjusted + adjusted;", 1)
 
+	ctx := context.Background()
+	analyzer := dise.NewAnalyzer()
+
 	// Show the inlined form of the system (what the analysis operates on).
 	flat, err := dise.InlineProgram(modSystem, "cycle")
 	if err != nil {
@@ -71,11 +75,11 @@ func main() {
 	fmt.Println("inlined system under analysis:")
 	fmt.Println(flat)
 
-	res, err := dise.AnalyzeInterprocedural(baseSystem, modSystem, "cycle", dise.Options{})
+	res, err := analyzer.AnalyzeInterprocedural(ctx, baseSystem, modSystem, "cycle")
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := dise.Execute(flat, "cycle", dise.Options{})
+	full, err := analyzer.Execute(ctx, flat, "cycle")
 	if err != nil {
 		log.Fatal(err)
 	}

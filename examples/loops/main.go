@@ -1,15 +1,20 @@
-// Loops: DiSE on a program with a while loop.
+// Loops: DiSE on a program with a while loop, with path conditions
+// streamed as the directed search finds them.
 //
 // The paper's artifacts are loop-free, but the algorithm handles loops via
 // a depth bound (paper §2.1) and the CheckLoops/SCC machinery of Fig. 6,
 // which re-arms affected nodes inside a loop's strongly connected component
 // so sequences of affected nodes across iterations are explored. This
-// example shows DiSE following a changed loop body across iterations.
+// example shows DiSE following a changed loop body across iterations, and
+// uses AnalyzeStream to print each affected path condition the moment the
+// search completes it — the mode a service uses to start acting on results
+// before a deep exploration finishes.
 //
 // Run with: go run ./examples/loops
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -37,23 +42,30 @@ func main() {
 	// The change: the drain step removes twice the valve flow.
 	modVersion := strings.Replace(baseVersion, "Level = Level - Valve;", "Level = Level - Valve - Valve;", 1)
 
-	opts := dise.Options{DepthBound: 60}
-	full, err := dise.Execute(modVersion, "drain", opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := dise.Analyze(baseVersion, modVersion, "drain", opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	analyzer := dise.NewAnalyzer(dise.WithDepthBound(60))
 
-	fmt.Printf("full symbolic execution: %d path conditions, %d states\n",
+	full, err := analyzer.Execute(ctx, modVersion, "drain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full symbolic execution: %d path conditions, %d states\n\n",
 		len(full.Paths), full.Stats.StatesExplored)
-	fmt.Printf("DiSE:                    %d path conditions, %d states\n\n",
-		len(res.Paths), res.Stats.StatesExplored)
 
-	fmt.Println("affected path conditions across loop iterations:")
-	for i, pc := range res.PathConditions() {
-		fmt.Printf("  PC%d: %s\n", i+1, pc)
+	fmt.Println("affected path conditions, streamed across loop iterations:")
+	n := 0
+	res, err := analyzer.AnalyzeStream(ctx, dise.Request{
+		BaseSrc: baseVersion,
+		ModSrc:  modVersion,
+		Proc:    "drain",
+	}, func(p dise.PathInfo) bool {
+		n++
+		fmt.Printf("  PC%d: %s\n", n, p.PathCondition)
+		return true // false would stop the search early
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nDiSE: %d path conditions, %d states\n",
+		len(res.Paths), res.Stats.StatesExplored)
 }

@@ -1,4 +1,5 @@
-// Quickstart: the paper's motivating example (Fig. 2) end to end.
+// Quickstart: the paper's motivating example (Fig. 2) end to end, on the
+// service-grade Analyzer API.
 //
 // Two versions of the Wheel Brake System fragment differ in one comparison
 // operator (== vs <=). Full symbolic execution of the modified version
@@ -9,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -48,8 +50,13 @@ func main() {
 	// The change of Fig. 2: the first conditional's == becomes <=.
 	modVersion := strings.Replace(baseVersion, "PedalPos == 0", "PedalPos <= 0", 1)
 
+	// One Analyzer serves every request; its parse/CFG cache means the two
+	// calls below parse each version only once.
+	ctx := context.Background()
+	analyzer := dise.NewAnalyzer()
+
 	// Full (traditional) symbolic execution of the modified version.
-	full, err := dise.Execute(modVersion, "update", dise.Options{})
+	full, err := analyzer.Execute(ctx, modVersion, "update")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +65,11 @@ func main() {
 
 	// DiSE: diff both versions, compute affected locations, direct the
 	// symbolic execution at the change.
-	res, err := dise.Analyze(baseVersion, modVersion, "update", dise.Options{})
+	res, err := analyzer.Analyze(ctx, dise.Request{
+		BaseSrc: baseVersion,
+		ModSrc:  modVersion,
+		Proc:    "update",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,8 +48,11 @@ func main() {
 	// The change: the rate alarm threshold tightens from 5 to 3.
 	modVersion := strings.Replace(baseVersion, "Rate > 5", "Rate > 3", 1)
 
+	ctx := context.Background()
+	analyzer := dise.NewAnalyzer()
+
 	// 1. Existing suite: full symbolic execution of the original version.
-	baseSum, err := dise.Execute(baseVersion, "control", dise.Options{})
+	baseSum, err := analyzer.Execute(ctx, baseVersion, "control")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,8 +62,13 @@ func main() {
 		fmt.Printf("  %s\n", tc.Call)
 	}
 
-	// 2. DiSE on the change.
-	res, err := dise.Analyze(baseVersion, modVersion, "control", dise.Options{})
+	// 2. DiSE on the change. The base version was parsed by the Execute
+	// above; the Analyzer's cache reuses it here.
+	res, err := analyzer.Analyze(ctx, dise.Request{
+		BaseSrc: baseVersion,
+		ModSrc:  modVersion,
+		Proc:    "control",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

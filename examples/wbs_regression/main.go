@@ -4,13 +4,14 @@
 //
 // This illustrates the paper's central claim on a full artifact: when a
 // change touches a subtree, DiSE explores a fraction of the program; when
-// it touches the root conditional, DiSE degenerates to full symbolic
-// execution (and says so).
+// it reaches the root of the dataflow chain, DiSE degenerates to full
+// symbolic execution (and says so).
 //
 // Run with: go run ./examples/wbs_regression
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,15 +19,20 @@ import (
 )
 
 func main() {
-	t2, t3, err := dise.EvaluationTables("WBS", dise.Options{})
+	analyzer := dise.NewAnalyzer()
+	t2, t3, err := analyzer.EvaluationTables(context.Background(), "WBS")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(t2)
 	fmt.Println(t3)
 	fmt.Println("Reading the tables:")
-	fmt.Println("  - v1/v10: the change taints the root conditional; DiSE explores")
-	fmt.Println("    the same 24 path conditions as full symbolic execution.")
+	fmt.Println("  - v1/v10: the change taints the root of the BrakeCmd dataflow")
+	fmt.Println("    chain; DiSE explores the same 24 path conditions as full")
+	fmt.Println("    symbolic execution.")
 	fmt.Println("  - v4: a pure-output write changed; one affected path condition.")
-	fmt.Println("  - v2/v3/v5: subtree changes; DiSE explores a strict subset.")
+	fmt.Println("  - v7/v11: changes confined to the skid block; DiSE explores a")
+	fmt.Println("    strict subset (12 of 24).")
+	fmt.Println("  - v8: a deleted pure-output write; nothing downstream is")
+	fmt.Println("    affected, so DiSE explores (almost) nothing.")
 }

@@ -1,0 +1,3 @@
+module dise
+
+go 1.23

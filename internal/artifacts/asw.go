@@ -1,0 +1,123 @@
+package artifacts
+
+// ASW re-creates the paper's altitude-switch artifact: a reactive procedure
+// whose 1728 feasible paths are the product of ten independent decision
+// blocks — a dead region (infeasible under the non-negative input domain),
+// six two-way device diamonds, and three three-way mode/trigger/phase
+// chains. The trigger block feeds a dataflow chain (T → OG → O3 → O4 → O5 →
+// phase chain) so that a single change at the head of the chain taints the
+// whole back half of the procedure while the front blocks stay unaffected.
+var asw = Artifact{
+	Name: "ASW",
+	Proc: "altswitch",
+	Base: `
+int DeadOut = 0;
+int WA = 0;
+int WB = 0;
+int M = 0;
+int Trigger = 0;
+int T = 0;
+int OG = 0;
+int O3 = 0;
+int O4 = 0;
+int O5 = 0;
+int O6 = 0;
+int Alt = 0;
+
+proc altswitch(int AltDiff, int Mode, int Phase, bool DevA, bool DevB, bool Gear, bool Inhibit, bool Reset, bool Manual) {
+  if (AltDiff < 0) {
+    DeadOut = 1;
+  } else {
+    DeadOut = 0;
+  }
+  if (DevA) {
+    WA = 1;
+  } else {
+    WA = 0;
+  }
+  if (DevB) {
+    WB = 1;
+  } else {
+    WB = 0;
+  }
+  if (Mode <= 2) {
+    M = 1;
+  } else if (Mode <= 5) {
+    M = 2;
+  } else {
+    M = 3;
+  }
+  Trigger = AltDiff;
+  if (Trigger <= 2) {
+    T = 1;
+  } else if (Trigger <= 5) {
+    T = 2;
+  } else {
+    T = 3;
+  }
+  if (Gear && T >= 0) {
+    OG = 1;
+  } else {
+    OG = 0;
+  }
+  if (Inhibit && OG >= 0) {
+    O3 = 1;
+  } else {
+    O3 = 0;
+  }
+  if (Reset && O3 >= 0) {
+    O4 = 1;
+  } else {
+    O4 = 0;
+  }
+  if (Manual && O4 >= 0) {
+    O5 = 1;
+  } else {
+    O5 = 0;
+  }
+  if (Phase <= 0 && O5 >= 0) {
+    O6 = 1;
+  } else if (Phase <= 3) {
+    O6 = 2;
+  } else {
+    O6 = 3;
+  }
+  Alt = O6;
+}
+`,
+	Versions: []Version{
+		{Name: "v1", NumChanges: 0, Note: "masked change: formatting only, identical AST",
+			Edits: []Edit{{Old: "WA = 1;", New: "WA  =  1;"}}},
+		{Name: "v2", NumChanges: 1, Note: "change inside the dead region (AltDiff < 0 is infeasible)",
+			Edits: []Edit{{Old: "DeadOut = 1;", New: "DeadOut = 2;"}}},
+		{Name: "v3", NumChanges: 1, Note: "narrow change: trailing pure-output write",
+			Edits: []Edit{{Old: "Alt = O6;", New: "Alt = O6 + 1;"}}},
+		{Name: "v4", NumChanges: 1, Note: "write feeding the manual diamond and phase chain",
+			Edits: []Edit{{Old: "O4 = 1;", New: "O4 = 2;"}}},
+		{Name: "v5", NumChanges: 1, Note: "narrow change: device-A output is never read",
+			Edits: []Edit{{Old: "WA = 1;", New: "WA = 2;"}}},
+		{Name: "v6", NumChanges: 1, Note: "wide change: head of the trigger dataflow chain",
+			Edits: []Edit{{Old: "Trigger = AltDiff;", New: "Trigger = AltDiff + 1;"}}},
+		{Name: "v7", NumChanges: 1, Note: "mode chain threshold (M is never read)",
+			Edits: []Edit{{Old: "Mode <= 2", New: "Mode <= 1"}}},
+		{Name: "v8", NumChanges: 1, Note: "phase chain middle arm output value",
+			Edits: []Edit{{Old: "O6 = 2;", New: "O6 = 4;"}}},
+		{Name: "v9", NumChanges: 1, Note: "deleted trailing statement",
+			Edits: []Edit{{Old: "  Alt = O6;\n}", New: "}"}}},
+		{Name: "v10", NumChanges: 1, Note: "phase chain tail threshold",
+			Edits: []Edit{{Old: "Phase <= 3", New: "Phase <= 4"}}},
+		{Name: "v11", NumChanges: 1, Note: "trigger chain output feeding the gear diamond",
+			Edits: []Edit{{Old: "T = 3;", New: "T = 6;"}}},
+		{Name: "v12", NumChanges: 1, Note: "inhibit diamond output feeding the reset diamond",
+			Edits: []Edit{{Old: "    O3 = 0;", New: "    O3 = 2;"}}},
+		{Name: "v13", NumChanges: 2, Note: "two changes: reordered condition and shifted output",
+			Edits: []Edit{
+				{Old: "Inhibit && OG >= 0", New: "OG >= 0 && Inhibit"},
+				{Old: "    O4 = 0;", New: "    O4 = 3;"},
+			}},
+		{Name: "v14", NumChanges: 1, Note: "added statement after the mode chain",
+			Edits: []Edit{{Old: "  Trigger = AltDiff;", New: "  M = M + 1;\n  Trigger = AltDiff;"}}},
+		{Name: "v15", NumChanges: 1, Note: "wide change: trigger doubled, same arm partition",
+			Edits: []Edit{{Old: "Trigger = AltDiff;", New: "Trigger = AltDiff + AltDiff;"}}},
+	},
+}

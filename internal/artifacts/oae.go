@@ -1,0 +1,116 @@
+package artifacts
+
+// OAE re-creates the paper's onboard-abort-executive artifact, the widest
+// of the three subjects: 9216 feasible paths from two flag diamonds, a
+// three-arm mode chain, eight chained abort-condition diamonds and a
+// three-arm phase chain. The mode assignment heads a dataflow chain
+// (Mode → Stage → O3 → … → O10 → phase chain) so the paper's "wide" mutants
+// taint roughly a quarter of the paths while the front flag diamonds factor
+// out of the directed exploration.
+var oae = Artifact{
+	Name: "OAE",
+	Proc: "oae",
+	Base: `
+int F1 = 0;
+int F2 = 0;
+int Mode = 0;
+int Stage = 0;
+int O3 = 0;
+int O4 = 0;
+int O5 = 0;
+int O6 = 0;
+int O7 = 0;
+int O8 = 0;
+int O9 = 0;
+int O10 = 0;
+int Result = 0;
+
+proc oae(int Sensor, int Phase, bool S1, bool S2, bool B3, bool B4, bool B5, bool B6, bool B7, bool B8, bool B9, bool B10) {
+  if (S1) {
+    F1 = 1;
+  } else {
+    F1 = 0;
+  }
+  if (S2) {
+    F2 = 1;
+  } else {
+    F2 = 0;
+  }
+  Mode = Sensor;
+  if (Mode <= 3) {
+    Stage = 1;
+  } else if (Mode <= 7) {
+    Stage = 2;
+  } else {
+    Stage = 3;
+  }
+  if (B3 && Stage >= 1) {
+    O3 = 1;
+  } else {
+    O3 = 0;
+  }
+  if (B4 && O3 >= 0) {
+    O4 = 1;
+  } else {
+    O4 = 0;
+  }
+  if (B5 && O4 >= 0) {
+    O5 = 1;
+  } else {
+    O5 = 0;
+  }
+  if (B6 && O5 >= 0) {
+    O6 = 1;
+  } else {
+    O6 = 0;
+  }
+  if (B7 && O6 >= 0) {
+    O7 = 1;
+  } else {
+    O7 = 0;
+  }
+  if (B8 && O7 >= 0) {
+    O8 = 1;
+  } else {
+    O8 = 0;
+  }
+  if (B9 && O8 >= 0) {
+    O9 = 1;
+  } else {
+    O9 = 0;
+  }
+  if (B10 && O9 >= 0) {
+    O10 = 1;
+  } else {
+    O10 = 0;
+  }
+  if (Phase <= 0 && O10 >= 0) {
+    Result = 1;
+  } else if (Phase <= 3) {
+    Result = 2;
+  } else {
+    Result = 3;
+  }
+}
+`,
+	Versions: []Version{
+		{Name: "v1", NumChanges: 1, Note: "wide change: mode assignment heads the dataflow chain",
+			Edits: []Edit{{Old: "Mode = Sensor;", New: "Mode = Sensor + 1;"}}},
+		{Name: "v2", NumChanges: 1, Note: "narrow change: phase chain default arm",
+			Edits: []Edit{{Old: "Result = 3;", New: "Result = 4;"}}},
+		{Name: "v3", NumChanges: 1, Note: "first abort diamond condition operand order",
+			Edits: []Edit{{Old: "B3 && Stage >= 1", New: "Stage >= 1 && B3"}}},
+		{Name: "v4", NumChanges: 1, Note: "narrow change: flag output is never read",
+			Edits: []Edit{{Old: "F1 = 1;", New: "F1 = 2;"}}},
+		{Name: "v5", NumChanges: 1, Note: "mid-chain diamond output value",
+			Edits: []Edit{{Old: "    O5 = 0;", New: "    O5 = 2;"}}},
+		{Name: "v6", NumChanges: 1, Note: "phase chain head threshold",
+			Edits: []Edit{{Old: "Phase <= 0 && O10 >= 0", New: "Phase <= 1 && O10 >= 0"}}},
+		{Name: "v7", NumChanges: 1, Note: "wide change: mode offset variant",
+			Edits: []Edit{{Old: "Mode = Sensor;", New: "Mode = Sensor + 2;"}}},
+		{Name: "v8", NumChanges: 1, Note: "second abort diamond condition operand order",
+			Edits: []Edit{{Old: "B4 && O3 >= 0", New: "O3 >= 0 && B4"}}},
+		{Name: "v9", NumChanges: 1, Note: "mode chain first arm output value",
+			Edits: []Edit{{Old: "Stage = 1;", New: "Stage = 4;"}}},
+	},
+}

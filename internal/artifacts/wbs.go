@@ -1,0 +1,87 @@
+package artifacts
+
+// WBS re-creates the paper's wheel-brake-system artifact (Table 2(b)): 24
+// feasible paths — a six-arm pedal-position chain times the autobrake and
+// skid diamonds. The blocks form a dataflow chain (BrakeCmd → Pressure →
+// Meter), so a change to the root conditional taints every path and DiSE
+// degenerates to full symbolic execution, exactly the phenomenology the
+// paper reports for WBS v1/v10; a change to the trailing Light output
+// affects exactly one node and one path (the paper's WBS v4).
+var wbs = Artifact{
+	Name: "WBS",
+	Proc: "update",
+	Base: `
+int BrakeCmd = 0;
+int Pressure = 0;
+int Meter = 0;
+int Light = 0;
+
+proc update(int PedalPos, bool AutoBrake, bool Skid) {
+  if (PedalPos == 0) {
+    BrakeCmd = 0;
+  } else if (PedalPos == 1) {
+    BrakeCmd = 1;
+  } else if (PedalPos == 2) {
+    BrakeCmd = 2;
+  } else if (PedalPos == 3) {
+    BrakeCmd = 3;
+  } else if (PedalPos == 4) {
+    BrakeCmd = 4;
+  } else {
+    BrakeCmd = 5;
+  }
+  if (AutoBrake && BrakeCmd >= 0) {
+    Pressure = BrakeCmd + 10;
+  } else {
+    Pressure = BrakeCmd;
+  }
+  if (Skid && Pressure >= 0) {
+    Meter = Pressure + 1;
+    Light = 1;
+  } else {
+    Meter = Pressure;
+    Light = 0;
+  }
+}
+`,
+	Versions: []Version{
+		{Name: "v1", NumChanges: 1, Note: "root conditional operator: taints every path",
+			Edits: []Edit{{Old: "PedalPos == 0", New: "PedalPos <= 0"}}},
+		{Name: "v2", NumChanges: 1, Note: "mid-chain conditional operator",
+			Edits: []Edit{{Old: "PedalPos == 3", New: "PedalPos <= 3"}}},
+		{Name: "v3", NumChanges: 1, Note: "chain arm output value",
+			Edits: []Edit{{Old: "BrakeCmd = 4;", New: "BrakeCmd = 8;"}}},
+		{Name: "v4", NumChanges: 1, Note: "pure-output change: Light is never read",
+			Edits: []Edit{{Old: "Light = 1;", New: "Light = 2;"}}},
+		{Name: "v5", NumChanges: 1, Note: "autobrake boost operand",
+			Edits: []Edit{{Old: "Pressure = BrakeCmd + 10;", New: "Pressure = BrakeCmd + 20;"}}},
+		{Name: "v6", NumChanges: 1, Note: "operand change shifts inputs: new pedal position",
+			Edits: []Edit{{Old: "PedalPos == 4", New: "PedalPos == 7"}}},
+		{Name: "v7", NumChanges: 1, Note: "added statement in the skid arm",
+			Edits: []Edit{{Old: "    Light = 1;", New: "    Light = 1;\n    Meter = Meter + 2;"}}},
+		{Name: "v8", NumChanges: 1, Note: "deleted statement in the no-skid arm",
+			Edits: []Edit{{Old: "    Meter = Pressure;\n    Light = 0;", New: "    Meter = Pressure;"}}},
+		{Name: "v9", NumChanges: 1, Note: "chain default arm output value",
+			Edits: []Edit{{Old: "BrakeCmd = 5;", New: "BrakeCmd = 6;"}}},
+		{Name: "v10", NumChanges: 1, Note: "root conditional operand order: taints every path",
+			Edits: []Edit{{Old: "PedalPos == 0", New: "0 == PedalPos"}}},
+		{Name: "v11", NumChanges: 1, Note: "no-skid meter computation",
+			Edits: []Edit{{Old: "Meter = Pressure;", New: "Meter = Pressure + Pressure;"}}},
+		{Name: "v12", NumChanges: 1, Note: "no-autobrake pressure computation",
+			Edits: []Edit{{Old: "Pressure = BrakeCmd;", New: "Pressure = BrakeCmd + 1;"}}},
+		{Name: "v13", NumChanges: 2, Note: "two changes: chain arm and light output",
+			Edits: []Edit{
+				{Old: "BrakeCmd = 2;", New: "BrakeCmd = 7;"},
+				{Old: "Light = 1;", New: "Light = 3;"},
+			}},
+		{Name: "v14", NumChanges: 1, Note: "autobrake condition operand order",
+			Edits: []Edit{{Old: "AutoBrake && BrakeCmd >= 0", New: "BrakeCmd >= 0 && AutoBrake"}}},
+		{Name: "v15", NumChanges: 1, Note: "skid condition operand order",
+			Edits: []Edit{{Old: "Skid && Pressure >= 0", New: "Pressure >= 0 && Skid"}}},
+		{Name: "v16", NumChanges: 2, Note: "two chain arm output values",
+			Edits: []Edit{
+				{Old: "BrakeCmd = 1;", New: "BrakeCmd = 9;"},
+				{Old: "BrakeCmd = 3;", New: "BrakeCmd = 11;"},
+			}},
+	},
+}

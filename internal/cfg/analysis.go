@@ -53,6 +53,17 @@ func (b bitset) count() int {
 	return n
 }
 
+// Precompute forces all lazily-computed analyses (reachability,
+// post-dominance, SCCs). A precomputed graph is safe to share across
+// goroutines: the analysis caches are only written here, and every later
+// accessor is a pure read. Callers that put graphs in a cross-request cache
+// must call this before publishing the graph.
+func (g *Graph) Precompute() {
+	g.ensureReach()
+	g.ensurePostDom()
+	g.ensureSCC()
+}
+
 // ensureReach computes the reflexive-transitive reachability relation.
 func (g *Graph) ensureReach() {
 	if g.reach != nil {

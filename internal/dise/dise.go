@@ -44,10 +44,40 @@ func AnalyzeOpts(baseProg, modProg *ast.Program, procName string, config symexec
 	if err != nil {
 		return nil, err
 	}
-	baseGraph := cfg.Build(baseProc)
-	d := diff.Procedures(baseProc, engine.Proc)
-	affected := ComputeAffected(baseGraph, engine.Graph, d, opts)
+	return Run(Job{BaseProc: baseProc, Engine: engine, Opts: opts}), nil
+}
+
+// Job bundles the prepared inputs of one directed analysis. It exists so
+// that callers holding cached artifacts — a pre-parsed base procedure, its
+// prebuilt CFG, an engine constructed over a cached modified program — can
+// run the pipeline without re-doing that work, and so that path conditions
+// can be streamed as the search finds them.
+type Job struct {
+	// BaseProc is the base version of the procedure under analysis.
+	BaseProc *ast.Procedure
+	// BaseGraph is an optional prebuilt CFG of BaseProc; built when nil.
+	BaseGraph *cfg.Graph
+	// Engine executes the modified version (it owns the modified CFG).
+	Engine *symexec.Engine
+	// Opts tunes the affected-set computation.
+	Opts Options
+	// OnPath, when non-nil, receives each affected path as it is found;
+	// returning false stops the search early (Runner.OnPath).
+	OnPath func(symexec.Path) bool
+}
+
+// Run executes the DiSE pipeline — diff → affected locations → directed
+// symbolic execution — on a prepared job.
+func Run(job Job) *Result {
+	baseGraph := job.BaseGraph
+	if baseGraph == nil {
+		baseGraph = cfg.Build(job.BaseProc)
+	}
+	engine := job.Engine
+	d := diff.Procedures(job.BaseProc, engine.Proc)
+	affected := ComputeAffected(baseGraph, engine.Graph, d, job.Opts)
 	runner := NewRunner(engine, affected)
+	runner.OnPath = job.OnPath
 	summary := runner.Run()
 	return &Result{
 		Diff:      d,
@@ -56,7 +86,7 @@ func AnalyzeOpts(baseProg, modProg *ast.Program, procName string, config symexec
 		Affected:  affected,
 		Summary:   summary,
 		Prune:     runner.PruneStats,
-	}, nil
+	}
 }
 
 // AffectedSequence projects a trace onto the affected nodes, the object of

@@ -24,10 +24,17 @@ type Runner struct {
 	Engine   *symexec.Engine
 	Affected *Affected
 
+	// OnPath, when non-nil, is invoked for every affected path as it is
+	// collected, before it is appended to the summary. Returning false stops
+	// the search; the summary then holds the paths delivered so far. This is
+	// the streaming hook behind the facade's AnalyzeStream.
+	OnPath func(symexec.Path) bool
+
 	exCond    map[int]bool
 	exWrite   map[int]bool
 	unExCond  map[int]bool
 	unExWrite map[int]bool
+	stopped   bool
 
 	// PruneStats counts directed-search-specific events.
 	PruneStats PruneStats
@@ -80,6 +87,12 @@ func (r *Runner) Run() *symexec.Summary {
 
 // dise is the DiSE procedure of Fig. 6.
 func (r *Runner) dise(s *symexec.State, summary *symexec.Summary) {
+	// Cancellation, streaming stop, and the MaxStates safety valve all
+	// unwind here without collecting the partial path: an interrupted
+	// exploration must not report path conditions it has not completed.
+	if r.stopped || r.Engine.InterruptErr() != nil || r.Engine.BudgetExhausted() {
+		return
+	}
 	// Line 5: depth bound and error handling. Error states correspond to
 	// assertion violations (§5.1); we record them so DiSE supports bug
 	// finding, then stop exploring the path.
@@ -95,6 +108,11 @@ func (r *Runner) dise(s *symexec.State, summary *symexec.Summary) {
 	// Lines 8–10: explore successors whose paths can still reach unexplored
 	// affected nodes.
 	step := r.Engine.Step(s)
+	if r.Engine.InterruptErr() != nil {
+		// Step was aborted mid-expansion: the empty successor list does not
+		// mean this path is maximal, so do not fall through to collect it.
+		return
+	}
 	// Branch targets proven infeasible count as explored: the executor
 	// reached the target instruction even though no state continues through
 	// it. Without this, an affected node behind an infeasible branch stays
@@ -171,7 +189,11 @@ func (r *Runner) collect(s *symexec.State, summary *symexec.Summary) {
 	}
 	adjusted := *s
 	adjusted.Trace = trace
-	summary.Paths = append(summary.Paths, r.Engine.Collect(&adjusted))
+	path := r.Engine.Collect(&adjusted)
+	if r.OnPath != nil && !r.OnPath(path) {
+		r.stopped = true
+	}
+	summary.Paths = append(summary.Paths, path)
 }
 
 // updateExploredSet is UpdateExploredSet of Fig. 6 (lines 30–35).

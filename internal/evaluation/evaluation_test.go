@@ -22,8 +22,8 @@ func TestEvaluationASW(t *testing.T) {
 		t.Fatalf("shape violations: %v", issues)
 	}
 	wantDiSE := map[string]int{
-		"v1": 0, "v2": 0, "v3": 1, "v4": 1, "v5": 2, "v6": 144, "v7": 2,
-		"v8": 2, "v9": 1, "v10": 2, "v11": 1, "v12": 1, "v13": 4, "v14": 2, "v15": 144,
+		"v1": 0, "v2": 0, "v3": 3, "v4": 12, "v5": 1, "v6": 144, "v7": 3,
+		"v8": 1, "v9": 3, "v10": 2, "v11": 144, "v12": 24, "v13": 48, "v14": 3, "v15": 144,
 	}
 	for _, row := range res.Rows2 {
 		if got := row.DiSEPCs; got != wantDiSE[row.Version] {
@@ -66,8 +66,8 @@ func TestEvaluationWBS(t *testing.T) {
 		t.Fatalf("shape violations: %v", issues)
 	}
 	wantDiSE := map[string]int{
-		"v1": 24, "v2": 6, "v3": 2, "v4": 1, "v5": 8, "v6": 18, "v7": 20, "v8": 8,
-		"v9": 3, "v10": 24, "v11": 8, "v12": 10, "v13": 3, "v14": 20, "v15": 20, "v16": 10,
+		"v1": 24, "v2": 24, "v3": 24, "v4": 1, "v5": 24, "v6": 24, "v7": 12, "v8": 0,
+		"v9": 24, "v10": 24, "v11": 12, "v12": 24, "v13": 24, "v14": 24, "v15": 24, "v16": 24,
 	}
 	rows := rowMap(res.Rows2)
 	for v, want := range wantDiSE {
@@ -118,8 +118,8 @@ func TestEvaluationOAE(t *testing.T) {
 		t.Fatalf("shape violations: %v", issues)
 	}
 	wantDiSE := map[string]int{
-		"v1": 2316, "v2": 2, "v3": 768, "v4": 2, "v5": 2, "v6": 2412,
-		"v7": 2316, "v8": 768, "v9": 2316,
+		"v1": 2304, "v2": 1, "v3": 2304, "v4": 1, "v5": 192, "v6": 6,
+		"v7": 2304, "v8": 768, "v9": 2304,
 	}
 	rows := rowMap(res.Rows2)
 	for v, want := range wantDiSE {

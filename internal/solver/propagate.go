@@ -38,6 +38,10 @@ func (p *problem) solve(stats *Stats, budget *int) Result {
 
 // search explores the current box. It returns (sat, unknown, model).
 func (p *problem) search(domains []Interval, stats *Stats, budget *int) (bool, bool, map[string]int64) {
+	if p.interrupt != nil && p.interrupt() != nil {
+		// Cancelled mid-solve: report Unknown, like an exhausted budget.
+		return false, true, nil
+	}
 	if !p.propagate(domains, stats) {
 		return false, false, nil
 	}
@@ -122,7 +126,7 @@ func (p *problem) search(domains []Interval, stats *Stats, budget *int) (bool, b
 // searchWithout recurses with one constraint removed (it has been decided
 // true concretely).
 func (p *problem) searchWithout(drop *constraint, domains []Interval, stats *Stats, budget *int) (bool, bool, map[string]int64) {
-	sub := &problem{varNames: p.varNames, varIdx: p.varIdx, domains: p.domains}
+	sub := &problem{varNames: p.varNames, varIdx: p.varIdx, domains: p.domains, interrupt: p.interrupt}
 	for _, v := range p.views {
 		if v.c != drop {
 			sub.views = append(sub.views, v)

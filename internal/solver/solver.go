@@ -22,6 +22,10 @@ type Options struct {
 	// Unknown result (treated as unsatisfiable by callers, as SPF does).
 	// Zero means the default of 1<<16.
 	NodeBudget int
+	// Interrupt, when non-nil, is polled at every search node. A non-nil
+	// return aborts the Check with an Unknown result, letting callers stop a
+	// long-running solve promptly (e.g. on context cancellation).
+	Interrupt func() error
 }
 
 // Stats counts solver work across Check calls.
@@ -79,6 +83,7 @@ func (s *Solver) Check(constraints []sym.Expr, domains map[string]Interval) Resu
 		compiled = append(compiled, s.compile(e)...)
 	}
 	p := newProblem(compiled, domains)
+	p.interrupt = s.opts.Interrupt
 	budget := s.opts.NodeBudget
 	res := p.solve(&s.stats, &budget)
 	switch {
@@ -241,6 +246,8 @@ type problem struct {
 	// converges one unit per pass on such pairs — a pathology over wide
 	// domains — so they are refuted during setup instead.
 	trivialUnsat bool
+	// interrupt aborts the search when it returns non-nil (Options.Interrupt).
+	interrupt func() error
 }
 
 func newProblem(constraints []*constraint, domains map[string]Interval) *problem {

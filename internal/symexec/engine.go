@@ -32,6 +32,12 @@ type Config struct {
 	ConcreteGlobals bool
 	// SolverOptions configures the constraint solver.
 	SolverOptions solver.Options
+	// Interrupt, when non-nil, is polled once per executed CFG node. A
+	// non-nil return aborts the exploration within one step: Step produces no
+	// successors, search loops unwind without collecting partial paths, and
+	// the error is available from InterruptErr. This is how context
+	// cancellation reaches the innermost search loop.
+	Interrupt func() error
 }
 
 // Stats are the cost counters reported in the paper's Table 2: states
@@ -56,40 +62,60 @@ type Engine struct {
 	Graph  *cfg.Graph
 	Solver *solver.Solver
 
-	cfgInfo    *types.Info
-	config     Config
-	domains    map[string]solver.Interval
-	stats      Stats
-	depthBound int
+	config       Config
+	domains      map[string]solver.Interval
+	stats        Stats
+	depthBound   int
+	interruptErr error
 }
 
 // New type-checks the program, builds the CFG of procedure procName, and
 // returns an engine ready to run.
 func New(prog *ast.Program, procName string, config Config) (*Engine, error) {
-	info, err := types.Check(prog)
-	if err != nil {
+	if _, err := types.Check(prog); err != nil {
 		return nil, fmt.Errorf("symexec: %w", err)
 	}
 	proc := prog.Proc(procName)
 	if proc == nil {
 		return nil, fmt.Errorf("symexec: procedure %q not found", procName)
 	}
+	return build(prog, proc, nil, config)
+}
+
+// NewPrepared builds an engine from a program that the caller has already
+// type-checked and a CFG already built for proc. It skips the type check and
+// CFG construction of New — the point of the facade's parse/CFG cache — but
+// still rejects procedures with unexpanded calls. The graph may be shared
+// across engines provided its analyses were precomputed (cfg.Precompute).
+func NewPrepared(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) (*Engine, error) {
+	return build(prog, proc, g, config)
+}
+
+// CheckNoCalls rejects procedures containing unexpanded calls: the engine
+// (and cfg.Build) operate on single-procedure bodies; callers must expand
+// calls with the inline package first.
+func CheckNoCalls(proc *ast.Procedure) error {
 	var callErr error
 	ast.Walk(proc.Body.Stmts, func(s ast.Stmt) {
 		if c, ok := s.(*ast.Call); ok && callErr == nil {
-			callErr = fmt.Errorf("symexec: procedure %q calls %q; expand calls with the inline package first", procName, c.Callee)
+			callErr = fmt.Errorf("symexec: procedure %q calls %q; expand calls with the inline package first", proc.Name, c.Callee)
 		}
 	})
-	if callErr != nil {
-		return nil, callErr
+	return callErr
+}
+
+func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) (*Engine, error) {
+	if err := CheckNoCalls(proc); err != nil {
+		return nil, err
 	}
-	g := cfg.Build(proc)
+	if g == nil {
+		g = cfg.Build(proc)
+	}
 	e := &Engine{
 		Prog:    prog,
 		Proc:    proc,
 		Graph:   g,
 		Solver:  solver.New(config.SolverOptions),
-		cfgInfo: info,
 		config:  config,
 		domains: map[string]solver.Interval{},
 	}
@@ -160,6 +186,22 @@ func (e *Engine) ResetStats() {
 	e.Solver.ResetStats()
 }
 
+// InterruptErr returns the error that aborted the exploration, or nil. It is
+// set the first time Config.Interrupt returns non-nil; once set, Step
+// produces no further successors.
+func (e *Engine) InterruptErr() error { return e.interruptErr }
+
+// BudgetExhausted reports whether the MaxStates safety valve has tripped,
+// recording the event in the stats. Search loops (full and directed) consult
+// it before expanding a state.
+func (e *Engine) BudgetExhausted() bool {
+	if e.config.MaxStates > 0 && e.stats.StatesExplored >= e.config.MaxStates {
+		e.stats.MaxStatesHit = true
+		return true
+	}
+	return false
+}
+
 // DepthBound returns the effective path depth bound.
 func (e *Engine) DepthBound() int { return e.depthBound }
 
@@ -215,8 +257,19 @@ func (e *Engine) Successors(s *State) []*State {
 }
 
 // Step executes the node of s, reporting both feasible successors and
-// infeasible branch targets.
+// infeasible branch targets. After an interrupt (Config.Interrupt returned
+// non-nil) it produces no successors, so any search loop built on it unwinds
+// within one step.
 func (e *Engine) Step(s *State) Step {
+	if e.interruptErr != nil {
+		return Step{}
+	}
+	if e.config.Interrupt != nil {
+		if err := e.config.Interrupt(); err != nil {
+			e.interruptErr = err
+			return Step{}
+		}
+	}
 	n := s.Node
 	switch n.Kind {
 	case cfg.KindEnd, cfg.KindError:
@@ -342,8 +395,7 @@ func (e *Engine) RunFull() *Summary {
 }
 
 func (e *Engine) runFrom(s *State, summary *Summary) {
-	if e.config.MaxStates > 0 && e.stats.StatesExplored >= e.config.MaxStates {
-		e.stats.MaxStatesHit = true
+	if e.interruptErr != nil || e.BudgetExhausted() {
 		return
 	}
 	if e.Terminal(s) {
