@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dise/internal/cfg"
+	"dise/internal/constraint"
 	idise "dise/internal/dise"
 	"dise/internal/evaluation"
 	"dise/internal/inline"
@@ -37,6 +38,11 @@ import (
 type Analyzer struct {
 	conf  analyzerConfig
 	cache *programCache
+	// solverCache is the shared prefix-result cache of the constraint
+	// subsystem: concurrent requests (AnalyzeBatch workers analyzing
+	// variants of one base program) reuse each other's solved
+	// path-condition prefixes through it.
+	solverCache *constraint.PrefixCache
 }
 
 // analyzerConfig is the resolved option set of an Analyzer.
@@ -49,6 +55,8 @@ type analyzerConfig struct {
 	maxStates        int
 	parallelism      int
 	cacheCapacity    int
+	solverBackend    string
+	solverCacheSize  int
 }
 
 // Option configures an Analyzer (functional options).
@@ -93,6 +101,26 @@ func WithParallelism(n int) Option { return func(c *analyzerConfig) { c.parallel
 // least-recently-used entries. Zero selects the default of 128.
 func WithCacheCapacity(n int) Option { return func(c *analyzerConfig) { c.cacheCapacity = n } }
 
+// WithSolverBackend selects the constraint-solving backend by name:
+// "interval" (the default incremental interval-propagation adapter),
+// "bitvec" (the pure-Go fixed-width bitvector solver with wraparound
+// semantics), or "interval-noreuse" (the non-incremental baseline used for
+// A/B measurement). An unknown name fails the first analysis with a
+// descriptive error. See SolverBackends for the accepted names.
+func WithSolverBackend(name string) Option {
+	return func(c *analyzerConfig) { c.solverBackend = name }
+}
+
+// WithSolverCacheCapacity bounds the shared solved-prefix cache of the
+// constraint subsystem to n entries (0 selects the default of 8192).
+func WithSolverCacheCapacity(n int) Option {
+	return func(c *analyzerConfig) { c.solverCacheSize = n }
+}
+
+// SolverBackends lists the names accepted by WithSolverBackend (and by the
+// -solver flag of cmd/dise).
+func SolverBackends() []string { return constraint.Names() }
+
 // WithOptions applies a legacy Options struct, for callers migrating from
 // the package-level API.
 func WithOptions(o Options) Option {
@@ -114,11 +142,19 @@ func NewAnalyzer(opts ...Option) *Analyzer {
 	if conf.cacheCapacity <= 0 {
 		conf.cacheCapacity = 128
 	}
-	return &Analyzer{conf: conf, cache: newProgramCache(conf.cacheCapacity)}
+	return &Analyzer{
+		conf:        conf,
+		cache:       newProgramCache(conf.cacheCapacity),
+		solverCache: constraint.NewPrefixCache(conf.solverCacheSize),
+	}
 }
 
 // CacheStats reports hit/miss counters of the parse/CFG cache.
 func (a *Analyzer) CacheStats() CacheStats { return a.cache.stats() }
+
+// SolverCacheStats reports hit/miss counters of the shared solved-prefix
+// cache of the constraint subsystem.
+func (a *Analyzer) SolverCacheStats() constraint.CacheStats { return a.solverCache.Stats() }
 
 // engineConfig builds the per-request engine configuration. The context's
 // Err is polled once per executed CFG node and once per solver search node,
@@ -130,6 +166,8 @@ func (a *Analyzer) engineConfig(ctx context.Context) symexec.Config {
 		MaxStates:       a.conf.maxStates,
 		ConcreteGlobals: a.conf.concreteGlobals,
 		SolverOptions:   solver.Options{NodeBudget: a.conf.solverNodeBudget},
+		SolverBackend:   a.conf.solverBackend,
+		SolverCache:     a.solverCache,
 	}
 	if a.conf.intDomain != nil {
 		cfg.IntDomain = solver.Interval{Lo: a.conf.intDomain[0], Hi: a.conf.intDomain[1]}
@@ -234,9 +272,12 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo
 		modGraph = modEntry.graph(modProc)
 	}
 
+	// CheckNoCalls already validated the procedure, so a construction
+	// failure here means the engine configuration itself is unusable
+	// (e.g. an unknown solver backend name).
 	engine, err := symexec.NewPrepared(modProg, modProc, modGraph, a.engineConfig(ctx))
 	if err != nil {
-		return nil, err
+		return nil, errKind(InvalidConfig, "", err)
 	}
 	var onPath func(symexec.Path) bool
 	if yield != nil {
@@ -379,7 +420,11 @@ func (a *Analyzer) prepareEngine(ctx context.Context, src, procName string) (*sy
 	if err := symexec.CheckNoCalls(proc); err != nil {
 		return nil, &Error{Kind: TypeError, Err: err}
 	}
-	return symexec.NewPrepared(entry.prog, proc, entry.graph(proc), a.engineConfig(ctx))
+	engine, err := symexec.NewPrepared(entry.prog, proc, entry.graph(proc), a.engineConfig(ctx))
+	if err != nil {
+		return nil, errKind(InvalidConfig, "", err)
+	}
+	return engine, nil
 }
 
 // CFGDot renders the control flow graph of procedure procName in Graphviz

@@ -377,4 +377,3 @@ func TestWithOptionsShim(t *testing.T) {
 		t.Fatalf("full-range paths = %d/%d, want 24 (both option styles)", len(sum.Paths), len(sum2.Paths))
 	}
 }
-

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
+//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json] [-solver interval|bitvec]
 package main
 
 import (
@@ -37,10 +37,11 @@ func main() {
 	depth := flag.Int("depth", 0, "symbolic execution depth bound (0 = default)")
 	tests := flag.Bool("tests", false, "also solve affected path conditions into test inputs")
 	asJSON := flag.Bool("json", false, "emit the result as machine-readable JSON")
+	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
 	flag.Parse()
 
 	if *basePath == "" || *modPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json]")
+		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME]")
 		os.Exit(2)
 	}
 	baseSrc, err := os.ReadFile(*basePath)
@@ -62,7 +63,7 @@ func main() {
 		procName = procs[0]
 	}
 
-	a := dise.NewAnalyzer(dise.WithDepthBound(*depth))
+	a := dise.NewAnalyzer(dise.WithDepthBound(*depth), dise.WithSolverBackend(*solverName))
 	res, err := a.Analyze(ctx, dise.Request{
 		BaseSrc: string(baseSrc),
 		ModSrc:  string(modSrc),
@@ -97,6 +98,9 @@ func main() {
 	fmt.Printf("affected writes       (source lines): %v\n", res.AffectedWriteLines)
 	fmt.Printf("states explored:      %d\n", res.Stats.StatesExplored)
 	fmt.Printf("solver calls:         %d\n", res.Stats.SolverCalls)
+	ss := res.Stats.Solver
+	fmt.Printf("solver [%s]:    %d checks (%d sat / %d unsat / %d unknown), %d frames pushed, %d cache hits, %d model reuses\n",
+		ss.Backend, ss.Checks, ss.Sat, ss.Unsat, ss.Unknown, ss.PushedFrames, ss.CacheHits, ss.ModelReuses)
 	fmt.Printf("time:                 %dms\n", res.Stats.TimeMilliseconds)
 	fmt.Printf("affected path conditions: %d\n", len(res.Paths))
 	for i, p := range res.Paths {

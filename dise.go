@@ -114,6 +114,29 @@ type Stats struct {
 	InfeasibleBranches int   `json:"infeasible_branches"`
 	TimeMilliseconds   int64 `json:"time_ms"`
 	SolverCalls        int   `json:"solver_calls"`
+	// Solver breaks the solver work down by the incremental machinery of
+	// the constraint subsystem (internal/constraint).
+	Solver SolverStats `json:"solver_stats"`
+}
+
+// SolverStats is the observability block of the constraint subsystem: how
+// many satisfiability checks ran, how the assertion stack moved with the
+// exploration tree, and how many checks the prefix-reuse machinery (cache,
+// witness models, propagation snapshots) answered without a full solve.
+type SolverStats struct {
+	Backend       string `json:"backend"`
+	Checks        int    `json:"checks"`
+	Sat           int    `json:"sat"`
+	Unsat         int    `json:"unsat"`
+	Unknown       int    `json:"unknown"`
+	PushedFrames  int    `json:"pushed_frames"`
+	PoppedFrames  int    `json:"popped_frames"`
+	CacheHits     int    `json:"cache_hits"`
+	CacheMisses   int    `json:"cache_misses"`
+	ModelReuses   int    `json:"model_reuses"`
+	BoxConflicts  int    `json:"box_conflicts"`
+	FullSolves    int    `json:"full_solves"`
+	FrameMemoHits int    `json:"frame_memo_hits"`
 }
 
 func statsOf(s symexec.Stats, pcs int) Stats {
@@ -122,7 +145,22 @@ func statsOf(s symexec.Stats, pcs int) Stats {
 		PathConditions:     pcs,
 		InfeasibleBranches: s.InfeasibleBranches,
 		TimeMilliseconds:   s.Time.Milliseconds(),
-		SolverCalls:        s.Solver.Calls,
+		SolverCalls:        s.Solver.Checks,
+		Solver: SolverStats{
+			Backend:       s.Solver.Backend,
+			Checks:        s.Solver.Checks,
+			Sat:           s.Solver.Sat,
+			Unsat:         s.Solver.Unsat,
+			Unknown:       s.Solver.Unknown,
+			PushedFrames:  s.Solver.PushedFrames,
+			PoppedFrames:  s.Solver.PoppedFrames,
+			CacheHits:     s.Solver.CacheHits,
+			CacheMisses:   s.Solver.CacheMisses,
+			ModelReuses:   s.Solver.ModelReuses,
+			BoxConflicts:  s.Solver.BoxConflicts,
+			FullSolves:    s.Solver.FullSolves,
+			FrameMemoHits: s.Solver.FrameMemoHits,
+		},
 	}
 }
 

@@ -23,6 +23,10 @@ const (
 	// BudgetExhausted reports that the exploration hit the state budget
 	// configured with WithMaxStates before completing.
 	BudgetExhausted
+	// InvalidConfig reports that the Analyzer was constructed with an
+	// unusable option (e.g. an unknown WithSolverBackend name); every
+	// request fails with it until the configuration is corrected.
+	InvalidConfig
 )
 
 // String returns the kind's name.
@@ -38,6 +42,8 @@ func (k ErrorKind) String() string {
 		return "cancelled"
 	case BudgetExhausted:
 		return "budget exhausted"
+	case InvalidConfig:
+		return "invalid configuration"
 	}
 	return fmt.Sprintf("ErrorKind(%d)", int(k))
 }

@@ -1,0 +1,142 @@
+package constraint
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"dise/internal/solver"
+	"dise/internal/sym"
+)
+
+// prefixKey identifies one assertion-stack prefix. It is a chained pair of
+// independent FNV-64a hashes over the canonical renderings of the asserted
+// constraints (seeded with a digest of the input domains), so two engines
+// asserting the same constraints over the same domains — sibling states of
+// one exploration, or two batch workers analyzing variants of one base
+// program — compute the same key. 128 bits make an accidental collision
+// (which would return a wrong verdict) negligible.
+type prefixKey struct {
+	h1, h2 uint64
+}
+
+// extend chains the key with one more asserted constraint.
+func (k prefixKey) extend(s string) prefixKey {
+	a := fnv.New64a()
+	writeU64(a, k.h1)
+	a.Write([]byte(s))
+	b := fnv.New64a()
+	b.Write([]byte(s)) // different operand order decorrelates the halves
+	writeU64(b, k.h2)
+	return prefixKey{h1: a.Sum64(), h2: b.Sum64()}
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// prefixEntry is the cached outcome of solving one stack prefix. Both the
+// result model and the box are treated as immutable by every reader: they
+// may be shared concurrently across backends.
+type prefixEntry struct {
+	// res is the verdict for the prefix conjunction, nil when only the box
+	// is known. Unknown results are never cached: they depend on the
+	// caller's budget and on interrupt timing.
+	res *Result
+	// box is the propagation state snapshot: the input domains tightened to
+	// bounds consistency under the prefix. A child Check starts from the
+	// box instead of re-propagating the whole prefix.
+	box map[string]solver.Interval
+	// residual lists the prefix atoms the box does not entail — the only
+	// constraints a search within the box still has to enforce.
+	residual []sym.Expr
+}
+
+// PrefixCache is a bounded, concurrency-safe LRU of solved assertion-stack
+// prefixes, shared across the backend instances of concurrent engines
+// (e.g. the worker pool of AnalyzeBatch). It is the cross-engine half of
+// the incremental machinery: within one engine the frame stack carries
+// solver state down the tree, and the cache carries it across pop/re-push
+// boundaries and across engines.
+type PrefixCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[prefixKey]*list.Element
+	lru      *list.List // of *prefixSlot, front = most recent
+	hits     int64
+	misses   int64
+}
+
+type prefixSlot struct {
+	key prefixKey
+	ent prefixEntry
+}
+
+// DefaultPrefixCacheCapacity bounds a cache constructed with capacity 0.
+const DefaultPrefixCacheCapacity = 8192
+
+// NewPrefixCache returns a cache holding at most capacity prefixes
+// (DefaultPrefixCacheCapacity when capacity <= 0).
+func NewPrefixCache(capacity int) *PrefixCache {
+	if capacity <= 0 {
+		capacity = DefaultPrefixCacheCapacity
+	}
+	return &PrefixCache{
+		capacity: capacity,
+		entries:  map[prefixKey]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached entry for key, if present.
+func (c *PrefixCache) get(key prefixKey) (prefixEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*prefixSlot).ent, true
+	}
+	c.misses++
+	return prefixEntry{}, false
+}
+
+// put stores (or upgrades) the entry for key. An existing entry is only
+// replaced when the new one knows more (a verdict where the old had only a
+// box), so a box-only writer never erases a verdict.
+func (c *PrefixCache) put(key prefixKey, ent prefixEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		slot := el.Value.(*prefixSlot)
+		if ent.res != nil || slot.ent.res == nil {
+			slot.ent = ent
+		}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&prefixSlot{key: key, ent: ent})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*prefixSlot).key)
+	}
+}
+
+// CacheStats reports the effectiveness of a PrefixCache.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots hit/miss counters.
+func (c *PrefixCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+}

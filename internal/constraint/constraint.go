@@ -1,0 +1,188 @@
+// Package constraint is the pluggable incremental constraint-solving
+// subsystem behind symbolic execution.
+//
+// Symbolic execution explores a tree of program paths, and sibling paths
+// share long path-condition prefixes: the path condition of a state is its
+// parent's path condition plus one branch constraint. The package models
+// that sharing directly with an assertion stack, in the style of
+// incremental SMT solvers (and of Pinaka's solver-state reuse across the
+// exploration tree): the execution engine pushes a frame and asserts the
+// branch constraint when it descends into a branch, pops the frame when it
+// backtracks, and each Check decides only the conjunction currently on the
+// stack. Backends are free to reuse work across Checks that share a stack
+// prefix — the interval backend snapshots its propagation state per frame
+// and keeps an LRU cache of solved prefixes shared across concurrent
+// engines (see interval.go); the bitvector backend memoizes per-frame
+// verdicts (see bitvec.go).
+//
+// Two backends are built in:
+//
+//   - "interval" (the default): an incremental adapter over the
+//     finite-domain interval-propagation solver in internal/solver,
+//     preserving the Choco-like semantics the DiSE paper ran with;
+//   - "bitvec": a pure-Go fixed-width bitvector solver with wraparound
+//     arithmetic, bitwise operators and unsigned comparisons (bvexpr.go),
+//     opening scenarios the unbounded interval domain cannot express.
+//
+// A third backend is added by implementing Backend and registering a
+// constructor in New. Every backend treats an exhausted budget or an
+// interrupt as an Unknown result, which callers treat as unsatisfiable —
+// identical semantics across backends, as SPF does (paper §4.1).
+package constraint
+
+import (
+	"fmt"
+
+	"dise/internal/solver"
+	"dise/internal/sym"
+)
+
+// Backend names accepted by New (and by the -solver flag of cmd/dise).
+const (
+	// BackendInterval is the incremental interval-propagation adapter.
+	BackendInterval = "interval"
+	// BackendIntervalNoReuse is the interval adapter with every form of
+	// cross-Check reuse disabled: each Check re-solves its full assertion
+	// stack from scratch. It exists as the A/B baseline for benchmarks and
+	// equivalence tests, and mirrors what the engine did before the
+	// subsystem existed.
+	BackendIntervalNoReuse = "interval-noreuse"
+	// BackendBitvec is the pure-Go fixed-width bitvector solver.
+	BackendBitvec = "bitvec"
+)
+
+// Options configures a backend instance. A backend instance serves one
+// engine (one goroutine); only the shared prefix Cache is safe for
+// concurrent use.
+type Options struct {
+	// Domains assigns every symbolic input its interval domain. Backends
+	// include all of these variables in every model, so callers can read
+	// values for unconstrained inputs. Variables appearing in constraints
+	// but absent here default to solver.DefaultDomain.
+	Domains map[string]solver.Interval
+	// NodeBudget caps search nodes per Check; exceeding it yields Unknown
+	// (treated as unsatisfiable by callers). Zero means the backend default.
+	NodeBudget int
+	// Interrupt, when non-nil, is polled during solving; a non-nil return
+	// aborts the Check with Unknown.
+	Interrupt func() error
+	// Cache, when non-nil, is a shared LRU of solved prefix hashes
+	// (interval backend). Engines exploring related programs — sibling
+	// requests of an AnalyzeBatch sharing a base version — hit each other's
+	// entries. When nil the interval backend creates a private cache.
+	Cache *PrefixCache
+	// Width is the bit width of the bitvector backend (8..64). Zero means
+	// 64, which makes bitvec agree with the interval backend on programs
+	// whose arithmetic stays far from the width boundary.
+	Width int
+}
+
+// Result is the outcome of a Check.
+type Result struct {
+	Sat     bool
+	Unknown bool // budget exhausted or interrupted before a verdict
+	// Model maps every domain variable to a value when Sat. Models are
+	// deterministic for a given backend and assertion stack.
+	Model map[string]int64
+}
+
+// Caps describes what a backend can do, so callers can select or reject
+// backends by capability instead of by name.
+type Caps struct {
+	// Name is the registry name of the backend.
+	Name string
+	// PrefixReuse reports that Checks sharing a stack prefix reuse solver
+	// state (snapshots, caches) rather than re-solving from scratch.
+	PrefixReuse bool
+	// Wraparound reports fixed-width modular arithmetic semantics;
+	// without it, arithmetic is over unbounded integers (saturating).
+	Wraparound bool
+	// Bitwise reports support for bitwise operators and unsigned
+	// comparisons in the backend's native expression language.
+	Bitwise bool
+}
+
+// Stats counts backend work across Checks. The frame counters expose the
+// push/pop traffic of the exploration tree; the cache and reuse counters
+// quantify how much solving the incremental machinery avoided.
+type Stats struct {
+	Backend string // registry name of the backend that produced the stats
+
+	Checks  int // Check invocations
+	Sat     int
+	Unsat   int
+	Unknown int // budget exhausted or interrupted
+
+	Asserts       int // constraints asserted
+	PushedFrames  int
+	PoppedFrames  int
+	CacheHits     int // full stack verdict answered by the prefix cache
+	CacheMisses   int
+	ModelReuses   int // sat decided by the parent prefix's cached witness
+	BoxConflicts  int // unsat decided by propagating only the new conjunct
+	FullSolves    int // Checks that fell through to a full solver search
+	SearchNodes   int // inner-solver branching nodes
+	Propagations  int // inner-solver domain-tightening passes
+	BoxSnapshots  int // propagation-state snapshots taken (interval)
+	FrameMemoHits int // verdict answered by the top frame's memo
+}
+
+// Backend is one constraint solver with an assertion stack.
+//
+// The stack discipline mirrors the execution tree: Push opens a frame,
+// Assert adds constraints to the top frame, Check decides the conjunction
+// of all frames, Pop discards the top frame. Model returns the witness of
+// the last satisfiable Check. Backends are not safe for concurrent use;
+// each engine owns one instance.
+type Backend interface {
+	// Push opens a new assertion frame.
+	Push()
+	// Pop discards the top frame and its assertions. Popping the base
+	// frame panics: it indicates a push/pop imbalance in the caller.
+	Pop()
+	// Assert adds a constraint to the top frame.
+	Assert(c sym.Expr)
+	// Check decides satisfiability of the conjunction of every asserted
+	// constraint under the input domains.
+	Check() Result
+	// Model returns the model of the most recent satisfiable Check, or nil.
+	Model() map[string]int64
+	// Caps reports the backend's capabilities.
+	Caps() Caps
+	// Stats returns accumulated counters.
+	Stats() Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// New constructs a backend by registry name. The empty name selects the
+// default interval backend.
+func New(name string, opts Options) (Backend, error) {
+	switch name {
+	case "", BackendInterval:
+		return newIntervalBackend(opts, true), nil
+	case BackendIntervalNoReuse:
+		return newIntervalBackend(opts, false), nil
+	case BackendBitvec:
+		return newBitvecBackend(opts)
+	}
+	return nil, fmt.Errorf("constraint: unknown solver backend %q (have %s, %s, %s)",
+		name, BackendInterval, BackendIntervalNoReuse, BackendBitvec)
+}
+
+// Names lists the registered backend names.
+func Names() []string {
+	return []string{BackendInterval, BackendIntervalNoReuse, BackendBitvec}
+}
+
+// tally folds one result into the stats counters.
+func (s *Stats) tally(r Result) {
+	switch {
+	case r.Sat:
+		s.Sat++
+	case r.Unknown:
+		s.Unknown++
+	default:
+		s.Unsat++
+	}
+}

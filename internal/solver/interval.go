@@ -4,7 +4,7 @@
 // Path conditions produced by symbolic execution are conjunctions of boolean
 // expressions over integer symbolic inputs. The solver assigns every input a
 // finite interval domain (by default the non-negative range [0, 10^6],
-// mirroring Choco's default domains under SPF — see DESIGN.md), then
+// mirroring Choco's default domains under SPF — see solver.go), then
 // alternates
 //
 //   - bounds-consistency propagation on linear constraints, and

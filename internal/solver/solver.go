@@ -9,8 +9,10 @@ import (
 
 // DefaultDomain is the domain assigned to integer symbolic inputs unless the
 // caller overrides it. It is non-negative, mirroring the Choco configuration
-// under SPF that the paper's artifacts ran with; DESIGN.md discusses how this
-// choice yields the paper's 21 feasible paths for the motivating example.
+// under SPF that the paper's artifacts ran with: over this domain the
+// motivating example's PedalCmd == 2 arms are infeasible, which is what
+// yields the paper's 21 feasible paths (a full signed range yields 24 — see
+// the domain ablation in the repository README and bench suite).
 var DefaultDomain = Interval{Lo: 0, Hi: 1_000_000}
 
 // BoolDomain is the 0/1 domain used for boolean symbolic inputs.
@@ -95,6 +97,67 @@ func (s *Solver) Check(constraints []sym.Expr, domains map[string]Interval) Resu
 		s.stats.Unsat++
 	}
 	return res
+}
+
+// PropagateDelta tightens the domains of the variables mentioned by the
+// constraints to bounds consistency, without searching. Domains are read
+// from base (falling back to DefaultDomain); the returned delta holds ONLY
+// the mentioned variables' tightened domains, so callers propagating one
+// new conjunct against a large box pay for the conjunct's variables, not
+// the whole box. ok is false when propagation proves the conjunction
+// unsatisfiable over base (some domain became empty, or two constraints
+// over the same linear form have an empty intersection).
+//
+// residual lists the atoms (after conjunction flattening) that the
+// tightened box does NOT entail: an atom missing from it is satisfied by
+// every assignment inside the box, so a later search within the box may
+// drop it. Deep assertion stacks reduce to short residual lists — the
+// second half of what makes per-frame snapshots pay off in
+// internal/constraint.
+//
+// base overlaid with the delta is a sound over-approximation of the
+// solution set: every assignment satisfying the constraints within base
+// lies in it.
+func (s *Solver) PropagateDelta(constraints []sym.Expr, base map[string]Interval) (delta map[string]Interval, residual []sym.Expr, ok bool) {
+	var compiled []*constraint
+	for _, e := range constraints {
+		compiled = append(compiled, s.compile(e)...)
+	}
+	if len(compiled) == 0 {
+		return nil, nil, true
+	}
+	sub := map[string]Interval{}
+	for _, c := range compiled {
+		for _, n := range c.vars {
+			if _, seen := sub[n]; seen {
+				continue
+			}
+			if d, ok := base[n]; ok {
+				sub[n] = d
+			} else {
+				sub[n] = DefaultDomain
+			}
+		}
+	}
+	p := newProblem(compiled, sub)
+	if p.trivialUnsat {
+		return nil, nil, false
+	}
+	box := make([]Interval, len(p.domains))
+	copy(box, p.domains)
+	if !p.propagate(box, &s.stats) {
+		return nil, nil, false
+	}
+	for i := range p.views {
+		if p.truthOf(&p.views[i], box) != truthTrue {
+			residual = append(residual, p.views[i].c.expr)
+		}
+	}
+	delta = make(map[string]Interval, len(p.varNames))
+	for i, name := range p.varNames {
+		delta[name] = box[i]
+	}
+	return delta, residual, true
 }
 
 // conKind classifies compiled constraints.

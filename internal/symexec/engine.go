@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dise/internal/cfg"
+	"dise/internal/constraint"
 	"dise/internal/lang/ast"
 	"dise/internal/lang/token"
 	"dise/internal/lang/types"
@@ -32,6 +33,15 @@ type Config struct {
 	ConcreteGlobals bool
 	// SolverOptions configures the constraint solver.
 	SolverOptions solver.Options
+	// SolverBackend selects the constraint backend by registry name
+	// (internal/constraint). Empty selects the default incremental interval
+	// backend.
+	SolverBackend string
+	// SolverCache, when non-nil, is a shared prefix-result cache: engines
+	// given the same cache (e.g. the worker pool of a batch analysis over
+	// variants of one base program) reuse each other's solved path-condition
+	// prefixes.
+	SolverCache *constraint.PrefixCache
 	// Interrupt, when non-nil, is polled once per executed CFG node. A
 	// non-nil return aborts the exploration within one step: Step produces no
 	// successors, search loops unwind without collecting partial paths, and
@@ -52,21 +62,34 @@ type Stats struct {
 	ModelHits    int
 	MaxStatesHit bool
 	Time         time.Duration
-	Solver       solver.Stats
+	Solver       constraint.Stats
 }
 
 // Engine symbolically executes one procedure.
+//
+// The engine threads ONE constraint-solver context down the execution tree:
+// the backend's assertion stack always mirrors the path condition of the
+// state being expanded (one frame per branch constraint), synchronized in
+// Step by diffing against the previous state's path condition — push when
+// descending into a branch, pop when backtracking to a sibling or an
+// ancestor. Sibling states therefore share all solver state attached to
+// their common prefix (propagation snapshots, cached verdicts, witness
+// models), which is what makes branch feasibility checks incremental
+// instead of from-scratch re-solves of the whole path condition.
 type Engine struct {
-	Prog   *ast.Program
-	Proc   *ast.Procedure
-	Graph  *cfg.Graph
-	Solver *solver.Solver
+	Prog    *ast.Program
+	Proc    *ast.Procedure
+	Graph   *cfg.Graph
+	Backend constraint.Backend
 
 	config       Config
 	domains      map[string]solver.Interval
 	stats        Stats
 	depthBound   int
 	interruptErr error
+	// stack mirrors the constraints currently asserted on the Backend, one
+	// frame per path-condition conjunct.
+	stack []sym.Expr
 }
 
 // New type-checks the program, builds the CFG of procedure procName, and
@@ -115,7 +138,6 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 		Prog:    prog,
 		Proc:    proc,
 		Graph:   g,
-		Solver:  solver.New(config.SolverOptions),
 		config:  config,
 		domains: map[string]solver.Interval{},
 	}
@@ -144,6 +166,16 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 			}
 		}
 	}
+	backend, err := constraint.New(config.SolverBackend, constraint.Options{
+		Domains:    e.domains,
+		NodeBudget: config.SolverOptions.NodeBudget,
+		Interrupt:  config.SolverOptions.Interrupt,
+		Cache:      config.SolverCache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	e.Backend = backend
 	return e, nil
 }
 
@@ -176,14 +208,14 @@ func (e *Engine) Domains() map[string]solver.Interval {
 // Stats returns a snapshot of the engine's counters, including solver stats.
 func (e *Engine) Stats() Stats {
 	st := e.stats
-	st.Solver = e.Solver.Stats()
+	st.Solver = e.Backend.Stats()
 	return st
 }
 
 // ResetStats zeroes all counters (engine and solver).
 func (e *Engine) ResetStats() {
 	e.stats = Stats{}
-	e.Solver.ResetStats()
+	e.Backend.ResetStats()
 }
 
 // InterruptErr returns the error that aborted the exploration, or nil. It is
@@ -204,6 +236,56 @@ func (e *Engine) BudgetExhausted() bool {
 
 // DepthBound returns the effective path depth bound.
 func (e *Engine) DepthBound() int { return e.depthBound }
+
+// syncStack aligns the backend's assertion stack with the path condition
+// pc: it pops frames down to the longest common prefix, then pushes one
+// frame per remaining conjunct. Because the search explores the execution
+// tree depth-first and sibling states share their PC prefix (path
+// conditions are extended by append-on-fork), a step to a sibling pops one
+// frame and pushes one, and a descent pushes exactly one — the push/pop
+// discipline of incremental solving. Any other exploration order remains
+// correct, just with more stack traffic.
+func (e *Engine) syncStack(pc []sym.Expr) {
+	n := 0
+	for n < len(e.stack) && n < len(pc) && sameExpr(e.stack[n], pc[n]) {
+		n++
+	}
+	for len(e.stack) > n {
+		e.Backend.Pop()
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	for _, c := range pc[len(e.stack):] {
+		e.Backend.Push()
+		e.Backend.Assert(c)
+		e.stack = append(e.stack, c)
+	}
+}
+
+// sameExpr compares path-condition conjuncts. Pointer equality covers the
+// common case (forked states share the expression nodes of their common
+// prefix); structural equality catches re-built conditions.
+func sameExpr(a, b sym.Expr) bool {
+	return a == b || sym.Equal(a, b)
+}
+
+// checkBranch decides PC ∧ c where PC is the currently synced stack, using
+// a transient frame so the stack is unchanged on return.
+func (e *Engine) checkBranch(c sym.Expr) constraint.Result {
+	e.Backend.Push()
+	e.Backend.Assert(c)
+	res := e.Backend.Check()
+	e.Backend.Pop()
+	return res
+}
+
+// CheckPC decides an arbitrary path condition against the engine's input
+// domains, syncing the backend stack to it. Callers solving many related
+// path conditions (test generation over the paths of one run) benefit from
+// the same prefix reuse as the exploration itself.
+func (e *Engine) CheckPC(pc []sym.Expr) constraint.Result {
+	e.syncStack(pc)
+	return e.Backend.Check()
+}
 
 // InitialState builds the state at the begin node: parameters and (by
 // default) globals bound to fresh symbolic values, path condition true.
@@ -330,8 +412,15 @@ func (e *Engine) Step(s *State) Step {
 					}
 				}
 				if model == nil {
-					pc := append(append([]sym.Expr{}, s.PC...), branch.c)
-					res := e.Solver.Check(pc, e.domains)
+					// Align the backend's assertion stack with this state's
+					// path condition (pop back to the shared prefix, push the
+					// rest), then decide PC ∧ c in a transient frame. The
+					// feasible branch's constraint is re-pushed when the
+					// search descends into it; the backend's prefix machinery
+					// makes that re-push recall this verdict instead of
+					// re-solving.
+					e.syncStack(s.PC)
+					res := e.checkBranch(branch.c)
 					if !res.Sat {
 						e.stats.InfeasibleBranches++
 						out.InfeasibleTargets = append(out.InfeasibleTargets, branch.to)

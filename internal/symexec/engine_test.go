@@ -310,7 +310,7 @@ func TestStatsAccounting(t *testing.T) {
 	if st.StatesExplored <= len(summary.Paths) {
 		t.Errorf("StatesExplored = %d, too small", st.StatesExplored)
 	}
-	if st.Solver.Calls == 0 {
+	if st.Solver.Checks == 0 {
 		t.Error("solver must have been consulted")
 	}
 	if st.Time <= 0 {

@@ -48,9 +48,9 @@ func TestStepReportsFoldedFalseTargets(t *testing.T) {
 	s := e.InitialState()
 	s = e.Successors(s)[0] // begin -> k = 3
 	s = e.Successors(s)[0] // k = 3 -> cond
-	before := e.Solver.Stats().Calls
+	before := e.Backend.Stats().Checks
 	step := e.Step(s)
-	if got := e.Solver.Stats().Calls; got != before {
+	if got := e.Backend.Stats().Checks; got != before {
 		t.Errorf("folded branch consulted the solver (%d calls)", got-before)
 	}
 	if len(step.Feasible) != 1 || len(step.InfeasibleTargets) != 1 {
@@ -81,8 +81,8 @@ func TestModelCacheAvoidsSolverCalls(t *testing.T) {
 		t.Error("model cache never hit")
 	}
 	// Exactly the three negated branches required solving.
-	if st.Solver.Calls != 3 {
-		t.Errorf("solver calls = %d, want 3 (one per infeasible complement)", st.Solver.Calls)
+	if st.Solver.Checks != 3 {
+		t.Errorf("solver checks = %d, want 3 (one per infeasible complement)", st.Solver.Checks)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"dise/internal/constraint"
 	"dise/internal/dise"
 	"dise/internal/lang/parser"
 	"dise/internal/solver"
@@ -111,7 +112,7 @@ func TestModelsSatisfyPathConditions(t *testing.T) {
 	summary := e.RunFull()
 	g := NewGenerator(e)
 	for _, p := range summary.Paths {
-		res := g.Solver.Check(p.PC, g.Domains)
+		res := g.Check(p.PC)
 		if !res.Sat {
 			t.Fatalf("path %q must be satisfiable", p.PCString)
 		}
@@ -245,9 +246,27 @@ func TestGenerateSkipsUnknown(t *testing.T) {
 	e := engineFor(t, testXSource, "testX")
 	summary := e.RunFull()
 	g := NewGenerator(e)
-	g.Solver = solver.New(solver.Options{NodeBudget: 1})
-	// With budget 1 simple constraints still solve via propagation alone;
-	// force Unknown with an artificial hard path condition.
+	// A budget-1 solver context over the same domains: simple constraints
+	// still solve via propagation alone; force Unknown with an artificial
+	// hard path condition.
+	domains := e.Domains()
+	domains["X"] = solver.DefaultDomain
+	domains["Y"] = solver.DefaultDomain
+	tiny, err := constraint.New(constraint.BackendInterval, constraint.Options{
+		Domains:    domains,
+		NodeBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Check = func(pc []sym.Expr) constraint.Result {
+		tiny.Push()
+		defer tiny.Pop()
+		for _, c := range pc {
+			tiny.Assert(c)
+		}
+		return tiny.Check()
+	}
 	hard := summary
 	hard.Paths = append([]symexec.Path{}, summary.Paths...)
 	x, y := sym.V("X"), sym.V("Y")
@@ -256,8 +275,6 @@ func TestGenerateSkipsUnknown(t *testing.T) {
 		sym.Cmp(sym.OpGT, x, sym.One),
 		sym.Cmp(sym.OpGT, y, sym.One),
 	}
-	g.Domains["X"] = solver.DefaultDomain
-	g.Domains["Y"] = solver.DefaultDomain
 	tests := g.Generate(hard)
 	// The hard PC is skipped; the other remains.
 	if len(tests) != 1 {
