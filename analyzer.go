@@ -57,6 +57,8 @@ type analyzerConfig struct {
 	cacheCapacity    int
 	solverBackend    string
 	solverCacheSize  int
+	searchStrategy   string
+	exploreWorkers   int
 }
 
 // Option configures an Analyzer (functional options).
@@ -121,6 +123,34 @@ func WithSolverCacheCapacity(n int) Option {
 // -solver flag of cmd/dise).
 func SolverBackends() []string { return constraint.Names() }
 
+// WithSearchStrategy selects the exploration scheduler's search strategy by
+// name: "dfs" (the default depth-first order), "bfs" (breadth-first), or
+// "directed" (priority order by CFG distance to the nearest unexplored
+// affected node — for full symbolic execution, to the procedure's end node).
+// Every strategy yields the same affected-path set; for DiSE, the pruning
+// decisions are always committed in depth-first order (the order the paper's
+// Theorem 3.10 guarantee is stated over), so a non-DFS strategy reorders
+// speculative state expansion, not the reported paths. An unknown name fails
+// the first analysis with Kind InvalidConfig. See SearchStrategies.
+func WithSearchStrategy(name string) Option {
+	return func(c *analyzerConfig) { c.searchStrategy = name }
+}
+
+// WithExploreParallelism sets the number of workers draining a single
+// request's exploration frontier (intra-query parallelism) — distinct from
+// WithParallelism, which bounds how many requests AnalyzeBatch runs at once.
+// Each worker owns its own constraint-solver context; all workers share the
+// analyzer's solved-prefix cache. Zero or one means sequential exploration;
+// values outside [0, symexec.MaxExploreParallelism] fail the first analysis
+// with Kind InvalidConfig.
+func WithExploreParallelism(n int) Option {
+	return func(c *analyzerConfig) { c.exploreWorkers = n }
+}
+
+// SearchStrategies lists the names accepted by WithSearchStrategy (and by
+// the -strategy flag of cmd/dise and cmd/symexec), default first.
+func SearchStrategies() []string { return symexec.Strategies() }
+
 // WithOptions applies a legacy Options struct, for callers migrating from
 // the package-level API.
 func WithOptions(o Options) Option {
@@ -162,12 +192,14 @@ func (a *Analyzer) SolverCacheStats() constraint.CacheStats { return a.solverCac
 // of the step loop.
 func (a *Analyzer) engineConfig(ctx context.Context) symexec.Config {
 	cfg := symexec.Config{
-		DepthBound:      a.conf.depthBound,
-		MaxStates:       a.conf.maxStates,
-		ConcreteGlobals: a.conf.concreteGlobals,
-		SolverOptions:   solver.Options{NodeBudget: a.conf.solverNodeBudget},
-		SolverBackend:   a.conf.solverBackend,
-		SolverCache:     a.solverCache,
+		DepthBound:         a.conf.depthBound,
+		MaxStates:          a.conf.maxStates,
+		ConcreteGlobals:    a.conf.concreteGlobals,
+		SolverOptions:      solver.Options{NodeBudget: a.conf.solverNodeBudget},
+		SolverBackend:      a.conf.solverBackend,
+		SolverCache:        a.solverCache,
+		Strategy:           a.conf.searchStrategy,
+		ExploreParallelism: a.conf.exploreWorkers,
 	}
 	if a.conf.intDomain != nil {
 		cfg.IntDomain = solver.Interval{Lo: a.conf.intDomain[0], Hi: a.conf.intDomain[1]}
@@ -300,7 +332,7 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo
 	}
 
 	out := &Result{
-		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths)),
+		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths), a.resultConfig()),
 		ChangedNodes:             res.Affected.ChangedNodes,
 		AffectedConditionalLines: res.Affected.ACNLines(),
 		AffectedWriteLines:       res.Affected.AWNLines(),
@@ -384,7 +416,7 @@ func (a *Analyzer) Execute(ctx context.Context, src, procName string) (*Summary,
 	if summary.Stats.MaxStatesHit && a.conf.maxStates > 0 {
 		return nil, &Error{Kind: BudgetExhausted}
 	}
-	out := &Summary{engine: engine, summary: summary, Stats: statsOf(summary.Stats, len(summary.Paths))}
+	out := &Summary{engine: engine, summary: summary, Stats: statsOf(summary.Stats, len(summary.Paths), a.resultConfig())}
 	for _, p := range summary.Paths {
 		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
 	}

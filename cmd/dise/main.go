@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json] [-solver interval|bitvec]
+//	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
+//	     [-solver interval|bitvec] [-strategy dfs|bfs|directed] [-explore-parallelism N]
 package main
 
 import (
@@ -38,10 +39,12 @@ func main() {
 	tests := flag.Bool("tests", false, "also solve affected path conditions into test inputs")
 	asJSON := flag.Bool("json", false, "emit the result as machine-readable JSON")
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
+	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
+	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
 	flag.Parse()
 
 	if *basePath == "" || *modPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME]")
+		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME] [-strategy NAME] [-explore-parallelism N]")
 		os.Exit(2)
 	}
 	baseSrc, err := os.ReadFile(*basePath)
@@ -63,7 +66,12 @@ func main() {
 		procName = procs[0]
 	}
 
-	a := dise.NewAnalyzer(dise.WithDepthBound(*depth), dise.WithSolverBackend(*solverName))
+	a := dise.NewAnalyzer(
+		dise.WithDepthBound(*depth),
+		dise.WithSolverBackend(*solverName),
+		dise.WithSearchStrategy(*strategy),
+		dise.WithExploreParallelism(*exploreParallelism),
+	)
 	res, err := a.Analyze(ctx, dise.Request{
 		BaseSrc: string(baseSrc),
 		ModSrc:  string(modSrc),
@@ -96,6 +104,8 @@ func main() {
 	fmt.Printf("changed CFG nodes:    %d\n", res.ChangedNodes)
 	fmt.Printf("affected conditionals (source lines): %v\n", res.AffectedConditionalLines)
 	fmt.Printf("affected writes       (source lines): %v\n", res.AffectedWriteLines)
+	fmt.Printf("search:               %s strategy, %d exploration worker(s)\n",
+		res.Stats.SearchStrategy, res.Stats.ExploreParallelism)
 	fmt.Printf("states explored:      %d\n", res.Stats.StatesExplored)
 	fmt.Printf("solver calls:         %d\n", res.Stats.SolverCalls)
 	ss := res.Stats.Solver

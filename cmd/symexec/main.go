@@ -6,6 +6,7 @@
 // Usage:
 //
 //	symexec -src prog.mini [-proc update] [-tree] [-tests] [-depth N]
+//	        [-strategy dfs|bfs|directed] [-explore-parallelism N]
 package main
 
 import (
@@ -24,10 +25,12 @@ func main() {
 	depth := flag.Int("depth", 0, "depth bound (0 = default)")
 	tree := flag.Bool("tree", false, "print the symbolic execution tree instead of the summary")
 	tests := flag.Bool("tests", false, "also solve path conditions into test inputs")
+	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
+	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers (0 or 1 = sequential)")
 	flag.Parse()
 
 	if *srcPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: symexec -src FILE [-proc NAME] [-tree] [-tests] [-depth N]")
+		fmt.Fprintln(os.Stderr, "usage: symexec -src FILE [-proc NAME] [-tree] [-tests] [-depth N] [-strategy NAME] [-explore-parallelism N]")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(*srcPath)
@@ -46,7 +49,11 @@ func main() {
 		}
 		procName = procs[0]
 	}
-	a := dise.NewAnalyzer(dise.WithDepthBound(*depth))
+	a := dise.NewAnalyzer(
+		dise.WithDepthBound(*depth),
+		dise.WithSearchStrategy(*strategy),
+		dise.WithExploreParallelism(*exploreParallelism),
+	)
 
 	if *tree {
 		rendered, err := a.ExecutionTree(ctx, string(src), procName)
@@ -58,6 +65,8 @@ func main() {
 	sum, err := a.Execute(ctx, string(src), procName)
 	exitOn(err)
 	fmt.Printf("procedure:       %s\n", procName)
+	fmt.Printf("search:          %s strategy, %d exploration worker(s)\n",
+		sum.Stats.SearchStrategy, sum.Stats.ExploreParallelism)
 	fmt.Printf("states explored: %d\n", sum.Stats.StatesExplored)
 	fmt.Printf("solver calls:    %d\n", sum.Stats.SolverCalls)
 	fmt.Printf("time:            %dms\n", sum.Stats.TimeMilliseconds)

@@ -114,6 +114,10 @@ type Stats struct {
 	InfeasibleBranches int   `json:"infeasible_branches"`
 	TimeMilliseconds   int64 `json:"time_ms"`
 	SolverCalls        int   `json:"solver_calls"`
+	// SearchStrategy and ExploreParallelism echo the exploration-scheduler
+	// configuration the run used (WithSearchStrategy/WithExploreParallelism).
+	SearchStrategy     string `json:"search_strategy"`
+	ExploreParallelism int    `json:"explore_parallelism"`
 	// Solver breaks the solver work down by the incremental machinery of
 	// the constraint subsystem (internal/constraint).
 	Solver SolverStats `json:"solver_stats"`
@@ -139,13 +143,18 @@ type SolverStats struct {
 	FrameMemoHits int    `json:"frame_memo_hits"`
 }
 
-func statsOf(s symexec.Stats, pcs int) Stats {
+func statsOf(s symexec.Stats, pcs int, cfg symexec.Config) Stats {
+	// Echo the values the scheduler resolved, not the raw config.
+	strategy := cfg.ResolvedStrategy()
+	workers := cfg.ResolvedExploreParallelism()
 	return Stats{
 		StatesExplored:     s.StatesExplored,
 		PathConditions:     pcs,
 		InfeasibleBranches: s.InfeasibleBranches,
 		TimeMilliseconds:   s.Time.Milliseconds(),
 		SolverCalls:        s.Solver.Checks,
+		SearchStrategy:     strategy,
+		ExploreParallelism: workers,
 		Solver: SolverStats{
 			Backend:       s.Solver.Backend,
 			Checks:        s.Solver.Checks,

@@ -54,14 +54,15 @@ func (b bitset) count() int {
 }
 
 // Precompute forces all lazily-computed analyses (reachability,
-// post-dominance, SCCs). A precomputed graph is safe to share across
-// goroutines: the analysis caches are only written here, and every later
-// accessor is a pure read. Callers that put graphs in a cross-request cache
-// must call this before publishing the graph.
+// post-dominance, SCCs, hop distances). A precomputed graph is safe to share
+// across goroutines: the analysis caches are only written here, and every
+// later accessor is a pure read. Callers that put graphs in a cross-request
+// cache must call this before publishing the graph.
 func (g *Graph) Precompute() {
 	g.ensureReach()
 	g.ensurePostDom()
 	g.ensureSCC()
+	g.ensureDist()
 }
 
 // ensureReach computes the reflexive-transitive reachability relation.
@@ -102,6 +103,48 @@ func (g *Graph) IsCFGPath(ni, nj *Node) bool {
 func (g *Graph) Reaches(from, to int) bool {
 	g.ensureReach()
 	return g.reach[from].has(to)
+}
+
+// ensureDist computes all-pairs hop distances with one BFS per node. The
+// graphs are procedure CFGs (tens to low hundreds of nodes), so the dense
+// V×V matrix is small and the computation is dominated by the reachability
+// fixpoint that already runs for every analysis.
+func (g *Graph) ensureDist() {
+	if g.dist != nil {
+		return
+	}
+	n := len(g.Nodes)
+	dist := make([][]int32, n)
+	queue := make([]int, 0, n)
+	for from := range dist {
+		row := make([]int32, n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[from] = 0
+		queue = queue[:0]
+		queue = append(queue, from)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Nodes[v].Succs {
+				if w := e.To.ID; row[w] < 0 {
+					row[w] = row[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		dist[from] = row
+	}
+	g.dist = dist
+}
+
+// Dist returns the minimum number of CFG edges on a path from node `from` to
+// node `to`, or -1 when `to` is unreachable from `from`. Directed search
+// strategies use it to order states by proximity to a target node.
+func (g *Graph) Dist(from, to int) int {
+	g.ensureDist()
+	return int(g.dist[from][to])
 }
 
 // ensurePostDom computes post-dominance sets with the classic iterative

@@ -161,6 +161,7 @@ type Graph struct {
 	pdom    []bitset
 	sccID   []int
 	sccList [][]*Node
+	dist    [][]int32
 }
 
 // NodeFor returns the CFG node created for statement s, or nil.

@@ -467,3 +467,39 @@ func TestBitsetOps(t *testing.T) {
 		t.Errorf("and result count = %d, want 3", d.count())
 	}
 }
+
+// TestHopDistances covers the all-pairs distance analysis the directed
+// search strategy orders states by.
+func TestHopDistances(t *testing.T) {
+	g := fig2Graph(t)
+	if d := g.Dist(g.Begin.ID, g.Begin.ID); d != 0 {
+		t.Errorf("Dist(begin, begin) = %d, want 0", d)
+	}
+	if d := g.Dist(g.End.ID, g.Begin.ID); d != -1 {
+		t.Errorf("Dist(end, begin) = %d, want -1 (unreachable)", d)
+	}
+	// Distance to end must be positive from begin and shrink along any edge
+	// of a shortest path; check monotonicity over successors.
+	dBegin := g.Dist(g.Begin.ID, g.End.ID)
+	if dBegin <= 0 {
+		t.Fatalf("Dist(begin, end) = %d, want > 0", dBegin)
+	}
+	bestSucc := dBegin
+	for _, e := range g.Begin.Succs {
+		if d := g.Dist(e.To.ID, g.End.ID); d >= 0 && d < bestSucc {
+			bestSucc = d
+		}
+	}
+	if bestSucc != dBegin-1 {
+		t.Errorf("shortest successor distance = %d, want %d", bestSucc, dBegin-1)
+	}
+	// Dist must agree with reachability everywhere.
+	for _, from := range g.Nodes {
+		for _, to := range g.Nodes {
+			reach := g.Reaches(from.ID, to.ID)
+			if (g.Dist(from.ID, to.ID) >= 0) != reach {
+				t.Fatalf("Dist(%d,%d) disagrees with Reaches=%v", from.ID, to.ID, reach)
+			}
+		}
+	}
+}

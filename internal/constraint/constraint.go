@@ -127,6 +127,32 @@ type Stats struct {
 	FrameMemoHits int // verdict answered by the top frame's memo
 }
 
+// Add accumulates o into s, field by field. Schedulers running one backend
+// instance per exploration worker use it to merge the per-worker counters at
+// join time. The Backend name is taken from o when s has none (workers of
+// one exploration always share a backend name).
+func (s *Stats) Add(o Stats) {
+	if s.Backend == "" {
+		s.Backend = o.Backend
+	}
+	s.Checks += o.Checks
+	s.Sat += o.Sat
+	s.Unsat += o.Unsat
+	s.Unknown += o.Unknown
+	s.Asserts += o.Asserts
+	s.PushedFrames += o.PushedFrames
+	s.PoppedFrames += o.PoppedFrames
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.ModelReuses += o.ModelReuses
+	s.BoxConflicts += o.BoxConflicts
+	s.FullSolves += o.FullSolves
+	s.SearchNodes += o.SearchNodes
+	s.Propagations += o.Propagations
+	s.BoxSnapshots += o.BoxSnapshots
+	s.FrameMemoHits += o.FrameMemoHits
+}
+
 // Backend is one constraint solver with an assertion stack.
 //
 // The stack discipline mirrors the execution tree: Push opens a frame,

@@ -2,6 +2,7 @@ package constraint
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"dise/internal/solver"
@@ -348,5 +349,33 @@ func TestPrefixCacheUpgradeOnly(t *testing.T) {
 	ent, ok := cache.get(key)
 	if !ok || ent.res != res {
 		t.Error("verdict must survive a box-only upgrade attempt")
+	}
+}
+
+// TestStatsAddCoversEveryCounter guards the per-worker stats merge with
+// reflection: every numeric field of Stats must survive Add, so a future
+// counter added to the struct but forgotten in Add fails here instead of
+// silently under-reporting in merged parallel-run stats.
+func TestStatsAddCoversEveryCounter(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Int {
+			continue
+		}
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Int {
+			continue
+		}
+		want := int64(i+1) + int64(100*(i+1))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("Stats.Add drops field %s: got %d, want %d",
+				av.Type().Field(i).Name, got, want)
+		}
 	}
 }

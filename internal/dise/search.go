@@ -1,6 +1,7 @@
 package dise
 
 import (
+	"sync"
 	"time"
 
 	"dise/internal/cfg"
@@ -8,33 +9,55 @@ import (
 )
 
 // This file implements phase 2 of DiSE: the directed symbolic execution of
-// Fig. 6 in the paper. Exploration proceeds depth-first on the modified
-// program. Four global sets — ExCond/ExWrite (explored affected nodes) and
-// UnExCond/UnExWrite (affected nodes still to be explored) — steer the
-// search: a successor state is explored only if some unexplored affected
-// node is reachable from it (AffectedLocIsReachable); when exploration moves
-// past a node from which previously-explored affected nodes are reachable
-// again on a new path, those nodes are reset to unexplored so every sequence
-// of affected nodes gets covered (ResetUnExploredSet); loop SCCs are reset
-// wholesale at loop entries (CheckLoops).
+// Fig. 6 in the paper, realized as a Pruner plugged into the exploration
+// scheduler of internal/symexec. Four global sets — ExCond/ExWrite (explored
+// affected nodes) and UnExCond/UnExWrite (affected nodes still to be
+// explored) — steer the search: a successor state is explored only if some
+// unexplored affected node is reachable from it (AffectedLocIsReachable);
+// when exploration moves past a node from which previously-explored affected
+// nodes are reachable again on a new path, those nodes are reset to
+// unexplored so every sequence of affected nodes gets covered
+// (ResetUnExploredSet); loop SCCs are reset wholesale at loop entries
+// (CheckLoops).
+//
+// Depth-first order is the default strategy, not an invariant of the
+// machinery — but it is privileged: the pruning decisions above are
+// order-sensitive (which concrete path represents an affected-node sequence
+// depends on the order decisions are made), and the paper's Theorem 3.10
+// one-path-per-affected-sequence guarantee is stated over depth-first
+// exploration. The scheduler therefore commits this pruner's decisions in
+// canonical depth-first tree order at every strategy and parallelism level;
+// a non-DFS strategy reorders the *speculative* expansion of states ahead of
+// the committed walk (see internal/symexec/scheduler.go), never the
+// decisions, so the reported affected path conditions are byte-identical to
+// the classic sequential search.
 
 // Runner executes the directed search over a symbolic execution engine for
-// the modified program version.
+// the modified program version. It implements symexec.Pruner; the engine's
+// Config fixes the search strategy and parallelism.
 type Runner struct {
 	Engine   *symexec.Engine
 	Affected *Affected
 
 	// OnPath, when non-nil, is invoked for every affected path as it is
-	// collected, before it is appended to the summary. Returning false stops
+	// collected, before it is appended to the summary — always from the
+	// committed walk's goroutine, never concurrently. Returning false stops
 	// the search; the summary then holds the paths delivered so far. This is
 	// the streaming hook behind the facade's AnalyzeStream.
 	OnPath func(symexec.Path) bool
 
+	// setsMu guards the four affected-node sets. Only the committed walk
+	// mutates them (single goroutine, so its own reads are unsynchronized);
+	// the directed strategy's score function reads them from worker
+	// goroutines under RLock.
+	setsMu    sync.RWMutex
 	exCond    map[int]bool
 	exWrite   map[int]bool
 	unExCond  map[int]bool
 	unExWrite map[int]bool
 	stopped   bool
+
+	summary *symexec.Summary
 
 	// PruneStats counts directed-search-specific events.
 	PruneStats PruneStats
@@ -77,89 +100,106 @@ func NewRunner(engine *symexec.Engine, affected *Affected) *Runner {
 // affected path conditions.
 func (r *Runner) Run() *symexec.Summary {
 	start := time.Now()
-	summary := &symexec.Summary{}
-	r.dise(r.Engine.InitialState(), summary)
-	stats := r.Engine.Stats()
+	r.summary = &symexec.Summary{}
+	explorer := symexec.NewExplorer(r.Engine, symexec.ExploreOptions{
+		Pruner: r,
+		Score:  r.distanceToUnexplored,
+	})
+	stats := explorer.Run().Stats
 	stats.Time = time.Since(start)
-	summary.Stats = stats
-	return summary
+	r.summary.Stats = stats
+	return r.summary
 }
 
-// dise is the DiSE procedure of Fig. 6.
-func (r *Runner) dise(s *symexec.State, summary *symexec.Summary) {
-	// Cancellation, streaming stop, and the MaxStates safety valve all
-	// unwind here without collecting the partial path: an interrupted
-	// exploration must not report path conditions it has not completed.
-	if r.stopped || r.Engine.InterruptErr() != nil || r.Engine.BudgetExhausted() {
-		return
-	}
-	// Line 5: depth bound and error handling. Error states correspond to
-	// assertion violations (§5.1); we record them so DiSE supports bug
-	// finding, then stop exploring the path.
+// --- symexec.Pruner hooks (Fig. 6, committed in depth-first order) -----------
+
+// Stopped reports a streaming early stop (OnPath returned false).
+func (r *Runner) Stopped() bool { return r.stopped }
+
+// Enter is lines 5–7 of Fig. 6: depth bound, error handling, and marking the
+// state's node explored. Error states correspond to assertion violations
+// (§5.1); we record them so DiSE supports bug finding, then stop exploring
+// the path.
+func (r *Runner) Enter(s *symexec.State) bool {
 	if s.Depth > r.Engine.DepthBound() {
-		return
+		return false
 	}
 	if s.Node.Kind == cfg.KindError {
-		r.collect(s, summary)
-		return
+		r.collect(s)
+		return false
 	}
-	// Lines 6–7: map the state to its CFG node and mark it explored.
 	r.updateExploredSet(s.Node.ID)
-	// Lines 8–10: explore successors whose paths can still reach unexplored
-	// affected nodes.
-	step := r.Engine.Step(s)
-	if r.Engine.InterruptErr() != nil {
-		// Step was aborted mid-expansion: the empty successor list does not
-		// mean this path is maximal, so do not fall through to collect it.
-		return
-	}
-	// Branch targets proven infeasible count as explored: the executor
-	// reached the target instruction even though no state continues through
-	// it. Without this, an affected node behind an infeasible branch stays
-	// "unexplored" forever and attracts exploration of unaffected variants,
-	// inflating DiSE's output beyond the paper's numbers (§2.2 reports
-	// exactly 7 path conditions for the motivating example, which requires
-	// the infeasible PedalCmd == 2 arms to stop attracting the search).
-	//
-	// Note the known incompleteness this inherits from the published
-	// algorithm: a node consumed here may be feasible under a different
-	// path prefix, and if the search later reaches that prefix with no
-	// unexplored affected node in sight (no "beacon" to trigger the reset
-	// machinery of lines 21–23), the new sequence is pruned. The paper's
-	// Theorem 3.10 idealizes this away; the randomized property test
-	// quantifies it (DESIGN.md §6.5).
+	return true
+}
+
+// Expanded marks branch targets proven infeasible as explored: the executor
+// reached the target instruction even though no state continues through it.
+// Without this, an affected node behind an infeasible branch stays
+// "unexplored" forever and attracts exploration of unaffected variants,
+// inflating DiSE's output beyond the paper's numbers (§2.2 reports exactly 7
+// path conditions for the motivating example, which requires the infeasible
+// PedalCmd == 2 arms to stop attracting the search).
+//
+// Note the known incompleteness this inherits from the published algorithm:
+// a node consumed here may be feasible under a different path prefix, and if
+// the search later reaches that prefix with no unexplored affected node in
+// sight (no "beacon" to trigger the reset machinery of lines 21–23), the new
+// sequence is pruned. The paper's Theorem 3.10 idealizes this away; the
+// randomized property test quantifies it (DESIGN.md §6.5).
+func (r *Runner) Expanded(s *symexec.State, step symexec.Step) {
 	for _, t := range step.InfeasibleTargets {
 		r.updateExploredSet(t.ID)
 	}
-	explored := false
-	for _, si := range step.Feasible {
-		switch {
-		case si.Node.Kind == cfg.KindError:
-			// Assertion-violation successor (§5.1): always report; a change
-			// that makes an assertion violable must not be pruned away by
-			// the reachability filter.
-			explored = true
-			r.collect(si, summary)
-		case r.affectedLocIsReachable(si):
-			explored = true
-			r.dise(si, summary)
-		default:
-			r.PruneStats.PrunedStates++
+}
+
+// Child is lines 8–10 of Fig. 6: explore successors whose paths can still
+// reach unexplored affected nodes. Assertion-violation successors (§5.1) are
+// always reported — a change that makes an assertion violable must not be
+// pruned away by the reachability filter.
+func (r *Runner) Child(c *symexec.State) symexec.ChildVerdict {
+	switch {
+	case c.Node.Kind == cfg.KindError:
+		r.collect(c)
+		return symexec.ChildEmit
+	case r.affectedLocIsReachable(c):
+		return symexec.ChildDescend
+	default:
+		r.PruneStats.PrunedStates++
+		return symexec.ChildPrune
+	}
+}
+
+// Maximal handles a state with no explored successors: it terminates a
+// maximal explored path whose path condition is complete with respect to the
+// affected nodes (every affected node the path could reach has been
+// covered), so it is emitted — unless the path never touched an affected
+// conditional, in which case its path condition is unaffected by the change
+// and DiSE does not report it.
+func (r *Runner) Maximal(s *symexec.State) {
+	if !r.Engine.Terminal(s) && s.Depth >= r.Engine.DepthBound() {
+		// Depth-bounded, incomplete path: dropped, as in SPF.
+		return
+	}
+	r.collect(s)
+}
+
+// distanceToUnexplored scores a state for the directed priority strategy:
+// the CFG hop distance from the state's node to the nearest affected node
+// still unexplored, so speculation is spent where the search is heading.
+// States with no unexplored affected node in reach sort last.
+func (r *Runner) distanceToUnexplored(s *symexec.State) int {
+	g := r.Engine.Graph
+	best := int(^uint(0) >> 1)
+	r.setsMu.RLock()
+	defer r.setsMu.RUnlock()
+	for _, set := range []map[int]bool{r.unExCond, r.unExWrite} {
+		for id := range set {
+			if d := g.Dist(s.Node.ID, id); d >= 0 && d < best {
+				best = d
+			}
 		}
 	}
-	// A state with no explored successors terminates a maximal explored
-	// path: its path condition is complete with respect to the affected
-	// nodes (every affected node the path could reach has been covered), so
-	// it is emitted — unless the path never touched an affected conditional,
-	// in which case its path condition is unaffected by the change and DiSE
-	// does not report it.
-	if !explored {
-		if !r.Engine.Terminal(s) && s.Depth >= r.Engine.DepthBound() {
-			// Depth-bounded, incomplete path: dropped, as in SPF.
-			return
-		}
-		r.collect(s, summary)
-	}
+	return best
 }
 
 // collect emits the path ending at s if it covers at least one affected
@@ -170,7 +210,7 @@ func (r *Runner) dise(s *symexec.State, summary *symexec.Summary) {
 // no affected nodes beyond the changed write yet one path condition). The
 // node of s itself was visited (UpdateExploredSet ran on it), so it is part
 // of the emitted trace even though it has not produced successors.
-func (r *Runner) collect(s *symexec.State, summary *symexec.Summary) {
+func (r *Runner) collect(s *symexec.State) {
 	trace := s.Trace
 	switch s.Node.Kind {
 	case cfg.KindCond, cfg.KindWrite, cfg.KindNop:
@@ -193,11 +233,13 @@ func (r *Runner) collect(s *symexec.State, summary *symexec.Summary) {
 	if r.OnPath != nil && !r.OnPath(path) {
 		r.stopped = true
 	}
-	summary.Paths = append(summary.Paths, path)
+	r.summary.Paths = append(r.summary.Paths, path)
 }
 
 // updateExploredSet is UpdateExploredSet of Fig. 6 (lines 30–35).
 func (r *Runner) updateExploredSet(id int) {
+	r.setsMu.Lock()
+	defer r.setsMu.Unlock()
 	if r.unExWrite[id] {
 		delete(r.unExWrite, id)
 		r.exWrite[id] = true
@@ -210,6 +252,8 @@ func (r *Runner) updateExploredSet(id int) {
 
 // resetUnExploredSet is ResetUnExploredSet of Fig. 6 (lines 37–42).
 func (r *Runner) resetUnExploredSet(id int) {
+	r.setsMu.Lock()
+	defer r.setsMu.Unlock()
 	if r.exWrite[id] {
 		delete(r.exWrite, id)
 		r.unExWrite[id] = true

@@ -48,6 +48,40 @@ type Config struct {
 	// the error is available from InterruptErr. This is how context
 	// cancellation reaches the innermost search loop.
 	Interrupt func() error
+	// Strategy selects the exploration order of the scheduler by name
+	// ("dfs", "bfs", "directed"; see frontier.go). Empty selects DFS, the
+	// classic depth-first order. Unknown names fail engine construction.
+	Strategy string
+	// ExploreParallelism is the number of workers draining one exploration's
+	// frontier (intra-query parallelism). Each worker owns an engine fork
+	// with a private solver assertion stack; all forks share one prefix
+	// cache. Zero or one means sequential exploration; negative values and
+	// values above MaxExploreParallelism fail engine construction (each
+	// worker is a live solver context, so the count must stay sane).
+	ExploreParallelism int
+}
+
+// MaxExploreParallelism bounds Config.ExploreParallelism: workers beyond any
+// plausible core count only add coordination overhead and solver-context
+// memory.
+const MaxExploreParallelism = 256
+
+// ResolvedStrategy returns the strategy name the scheduler will actually
+// use: the configured one, or the DFS default for the empty string.
+func (c Config) ResolvedStrategy() string {
+	if c.Strategy == "" {
+		return StrategyDFS
+	}
+	return c.Strategy
+}
+
+// ResolvedExploreParallelism returns the worker count the scheduler will
+// actually run: the configured one, with 0 (and 1) meaning sequential.
+func (c Config) ResolvedExploreParallelism() int {
+	if c.ExploreParallelism < 1 {
+		return 1
+	}
+	return c.ExploreParallelism
 }
 
 // Stats are the cost counters reported in the paper's Table 2: states
@@ -67,15 +101,18 @@ type Stats struct {
 
 // Engine symbolically executes one procedure.
 //
-// The engine threads ONE constraint-solver context down the execution tree:
-// the backend's assertion stack always mirrors the path condition of the
-// state being expanded (one frame per branch constraint), synchronized in
-// Step by diffing against the previous state's path condition — push when
-// descending into a branch, pop when backtracking to a sibling or an
-// ancestor. Sibling states therefore share all solver state attached to
-// their common prefix (propagation snapshots, cached verdicts, witness
-// models), which is what makes branch feasibility checks incremental
-// instead of from-scratch re-solves of the whole path condition.
+// The engine threads ONE constraint-solver context through the states it
+// expands: the backend's assertion stack always mirrors the path condition
+// of the state being expanded (one frame per branch constraint),
+// synchronized in Step by diffing against the previous state's path
+// condition — push when descending into a branch, pop when moving to a
+// sibling or an ancestor. States expanded consecutively therefore share all
+// solver state attached to their common prefix (propagation snapshots,
+// cached verdicts, witness models), which is what makes branch feasibility
+// checks incremental instead of from-scratch re-solves of the whole path
+// condition. An engine serves one goroutine; parallel exploration runs one
+// engine fork per worker (Fork), each with its own solver context, sharing
+// a prefix cache.
 type Engine struct {
 	Prog    *ast.Program
 	Proc    *ast.Procedure
@@ -131,6 +168,19 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 	if err := CheckNoCalls(proc); err != nil {
 		return nil, err
 	}
+	if _, err := strategyFor(config.Strategy); err != nil {
+		return nil, err
+	}
+	if config.ExploreParallelism < 0 || config.ExploreParallelism > MaxExploreParallelism {
+		return nil, fmt.Errorf("symexec: explore parallelism %d out of range [0, %d] (0 or 1 = sequential)",
+			config.ExploreParallelism, MaxExploreParallelism)
+	}
+	if config.ExploreParallelism > 1 && config.SolverCache == nil {
+		// Parallel exploration forks the engine, one solver context per
+		// worker; give the forks a common prefix cache so they reuse each
+		// other's solved prefixes even when the caller did not provide one.
+		config.SolverCache = constraint.NewPrefixCache(0)
+	}
 	if g == nil {
 		g = cfg.Build(proc)
 	}
@@ -177,6 +227,34 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 	}
 	e.Backend = backend
 	return e, nil
+}
+
+// Fork returns a new engine over the same procedure, graph and
+// configuration, with a fresh constraint-backend context (its own assertion
+// stack) and zeroed counters. The graph, program and domains are shared —
+// they are read-only after construction — and the fork's backend shares the
+// original's prefix cache when one is configured. Parallel exploration runs
+// one fork per worker.
+func (e *Engine) Fork() (*Engine, error) {
+	ne := &Engine{
+		Prog:       e.Prog,
+		Proc:       e.Proc,
+		Graph:      e.Graph,
+		config:     e.config,
+		domains:    e.domains,
+		depthBound: e.depthBound,
+	}
+	backend, err := constraint.New(e.config.SolverBackend, constraint.Options{
+		Domains:    e.domains,
+		NodeBudget: e.config.SolverOptions.NodeBudget,
+		Interrupt:  e.config.SolverOptions.Interrupt,
+		Cache:      e.config.SolverCache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	ne.Backend = backend
+	return ne, nil
 }
 
 // symbolName maps a program variable to its symbolic input name, following
@@ -239,12 +317,14 @@ func (e *Engine) DepthBound() int { return e.depthBound }
 
 // syncStack aligns the backend's assertion stack with the path condition
 // pc: it pops frames down to the longest common prefix, then pushes one
-// frame per remaining conjunct. Because the search explores the execution
-// tree depth-first and sibling states share their PC prefix (path
-// conditions are extended by append-on-fork), a step to a sibling pops one
-// frame and pushes one, and a descent pushes exactly one — the push/pop
-// discipline of incremental solving. Any other exploration order remains
-// correct, just with more stack traffic.
+// frame per remaining conjunct. Under the default depth-first strategy,
+// sibling states share their PC prefix (path conditions are extended by
+// append-on-fork), so a step to a sibling pops one frame and pushes one,
+// and a descent pushes exactly one — the push/pop discipline of incremental
+// solving. Every other exploration order (BFS, directed priority, a
+// parallel worker picking up an arbitrary frontier state) remains correct,
+// just with more stack traffic; this PC-diff is what lets the scheduler
+// expand states in any order.
 func (e *Engine) syncStack(pc []sym.Expr) {
 	n := 0
 	for n < len(e.stack) && n < len(pc) && sameExpr(e.stack[n], pc[n]) {
@@ -471,29 +551,19 @@ func (e *Engine) Collect(s *State) Path {
 	}
 }
 
-// RunFull performs full (traditional) symbolic execution: a depth-first
-// exploration of every feasible path up to the depth bound. This is the
-// "Full Symbc" control technique of the paper's evaluation.
+// RunFull performs full (traditional) symbolic execution: every feasible
+// path up to the depth bound, explored by the scheduler in the configured
+// strategy order (depth-first by default) with the configured intra-query
+// parallelism. This is the "Full Symbc" control technique of the paper's
+// evaluation. The path set is the same for every strategy and parallelism
+// level; sequential runs emit paths in strategy order, parallel runs in
+// canonical tree order.
 func (e *Engine) RunFull() *Summary {
 	start := time.Now()
-	summary := &Summary{}
-	e.runFrom(e.InitialState(), summary)
-	e.stats.Time = time.Since(start)
-	summary.Stats = e.Stats()
+	summary := NewExplorer(e, ExploreOptions{}).Run()
+	summary.Stats.Time = time.Since(start)
+	e.stats.Time = summary.Stats.Time
 	return summary
-}
-
-func (e *Engine) runFrom(s *State, summary *Summary) {
-	if e.interruptErr != nil || e.BudgetExhausted() {
-		return
-	}
-	if e.Terminal(s) {
-		summary.Paths = append(summary.Paths, e.Collect(s))
-		return
-	}
-	for _, succ := range e.Successors(s) {
-		e.runFrom(succ, summary)
-	}
 }
 
 // evalExpr maps an AST expression to a symbolic expression under env, using

@@ -1,13 +1,16 @@
 // Package symexec implements symbolic execution of mini-language procedures
 // over their control flow graphs.
 //
-// It provides both the full ("traditional") symbolic execution used as the
-// control in the paper's evaluation (§4.2.2) and the stepping primitives the
-// directed search of DiSE builds on: a State carries the current CFG node, a
-// symbolic environment mapping program variables to symbolic expressions,
-// and a path condition; Successors forks a state at conditional branches,
+// It provides the stepping primitives (a State carries the current CFG node,
+// a symbolic environment mapping program variables to symbolic expressions,
+// and a path condition; Step forks a state at conditional branches,
 // consulting the constraint solver to prune infeasible branches exactly as
-// described in §2.1 of the paper.
+// described in §2.1 of the paper), an exploration scheduler that drains a
+// worklist of states under a pluggable search strategy with optional
+// intra-query parallelism (scheduler.go, frontier.go), and on top of those
+// the full ("traditional") symbolic execution used as the control in the
+// paper's evaluation (§4.2.2). The directed search of DiSE plugs into the
+// same scheduler as a Pruner (see internal/dise).
 package symexec
 
 import (

@@ -1,0 +1,126 @@
+package dise
+
+// Facade-level coverage of the exploration scheduler: strategy/parallelism
+// options, error contract for unknown strategies, streaming under parallel
+// exploration, and the stats echo.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dise/internal/artifacts"
+)
+
+func TestUnknownSearchStrategyError(t *testing.T) {
+	const src = "proc p(int x) { y = x; }"
+	a := NewAnalyzer(WithSearchStrategy("best-first"))
+	var de *Error
+	if _, err := a.Analyze(context.Background(), Request{BaseSrc: src, ModSrc: src, Proc: "p"}); !errors.As(err, &de) || de.Kind != InvalidConfig {
+		t.Fatalf("Analyze with unknown strategy: err = %v, want *Error{Kind: InvalidConfig}", err)
+	}
+	if _, err := a.Execute(context.Background(), src, "p"); !errors.As(err, &de) || de.Kind != InvalidConfig {
+		t.Fatalf("Execute with unknown strategy: err = %v, want *Error{Kind: InvalidConfig}", err)
+	}
+}
+
+func TestSearchStrategiesListed(t *testing.T) {
+	names := SearchStrategies()
+	if len(names) < 3 || names[0] != "dfs" {
+		t.Fatalf("SearchStrategies() = %v, want dfs first with bfs and directed present", names)
+	}
+}
+
+// TestAnalyzeStrategyParallelismIdenticalResults is the facade half of the
+// equivalence gate: every strategy × parallelism combination reports the
+// same affected path conditions, in the same order, with the same committed
+// exploration counters.
+func TestAnalyzeStrategyParallelismIdenticalResults(t *testing.T) {
+	a, _ := artifacts.ByName("ASW")
+	v, _ := a.Find("v6")
+	req := Request{BaseSrc: a.Base, ModSrc: a.SourceFor(v), Proc: a.Proc}
+	ref, err := NewAnalyzer().Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range SearchStrategies() {
+		for _, par := range []int{1, 4} {
+			an := NewAnalyzer(WithSearchStrategy(strategy), WithExploreParallelism(par))
+			res, err := an.Analyze(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s/par%d: %v", strategy, par, err)
+			}
+			if !reflect.DeepEqual(res.PathConditions(), ref.PathConditions()) {
+				t.Errorf("%s/par%d: path conditions differ from default run", strategy, par)
+			}
+			if res.Stats.StatesExplored != ref.Stats.StatesExplored {
+				t.Errorf("%s/par%d: states explored = %d, want %d",
+					strategy, par, res.Stats.StatesExplored, ref.Stats.StatesExplored)
+			}
+			if res.Stats.SearchStrategy != strategy || res.Stats.ExploreParallelism != par {
+				t.Errorf("%s/par%d: stats echo %q/%d", strategy, par,
+					res.Stats.SearchStrategy, res.Stats.ExploreParallelism)
+			}
+		}
+	}
+}
+
+// TestExecuteParallelMatchesSequential covers full symbolic execution — the
+// workload parallel exploration is built for — on the widest artifact
+// version available in a unit test: the paths must be identical (in
+// canonical order) to the sequential run.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	a, _ := artifacts.ByName("WBS")
+	seq, err := NewAnalyzer().Execute(context.Background(), a.Base, a.Proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewAnalyzer(WithExploreParallelism(4)).Execute(context.Background(), a.Base, a.Proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.PathConditions(), seq.PathConditions()) {
+		t.Error("parallel full SE must emit the sequential (canonical) path order")
+	}
+}
+
+// TestAnalyzeStreamEarlyStopParallel pins that a streaming consumer can
+// stop a parallel exploration: the committed walk halts, the speculative
+// workers drain, and the call returns without deadlock.
+func TestAnalyzeStreamEarlyStopParallel(t *testing.T) {
+	a, _ := artifacts.ByName("OAE")
+	v := a.Versions[0]
+	an := NewAnalyzer(WithExploreParallelism(4))
+	delivered := 0
+	res, err := an.AnalyzeStream(context.Background(),
+		Request{BaseSrc: a.Base, ModSrc: a.SourceFor(v), Proc: a.Proc},
+		func(PathInfo) bool {
+			delivered++
+			return delivered < 3
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3 (stop after third path)", delivered)
+	}
+	if len(res.Paths) != 3 {
+		t.Fatalf("summary holds %d paths, want the 3 delivered before the stop", len(res.Paths))
+	}
+}
+
+// TestCancellationParallelExploration verifies context cancellation reaches
+// every exploration worker: a cancelled parallel request fails with Kind
+// Cancelled instead of completing.
+func TestCancellationParallelExploration(t *testing.T) {
+	a, _ := artifacts.ByName("OAE")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	an := NewAnalyzer(WithExploreParallelism(4))
+	_, err := an.Execute(ctx, a.Base, a.Proc)
+	var de *Error
+	if !errors.As(err, &de) || de.Kind != Cancelled {
+		t.Fatalf("err = %v, want *Error{Kind: Cancelled}", err)
+	}
+}
