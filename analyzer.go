@@ -246,68 +246,98 @@ func (a *Analyzer) AnalyzeStream(ctx context.Context, req Request, yield func(Pa
 	return a.analyze(ctx, req, yield)
 }
 
+// version is one resolved program version: parsed, type-checked, procedure
+// validated, and (for the intra-procedural case) the cached precomputed CFG.
+// For inter-procedural requests prog/proc are the per-request inlined forms
+// and the graph is built fresh (inlining is cheap next to the exploration it
+// feeds, and the cache's unit is a source text).
+type version struct {
+	prog  *ast.Program
+	proc  *ast.Procedure
+	graph *cfg.Graph
+}
+
+// resolveVersion runs one source text through the parse/CFG cache and
+// validates the procedure under analysis. stage labels errors ("base
+// version" / "modified version" / ""). precompute forces every graph
+// analysis up front, which a version an engine will execute needs (forks
+// share the graph under parallel exploration, and the memo needs stable
+// keys); the base side of a diff only reads the lazily-computed
+// reachability analyses from a single goroutine and skips that cost. Only
+// the per-request inter-procedural graphs are affected — cached graphs are
+// always precomputed before they are shared.
+func (a *Analyzer) resolveVersion(src, procName, stage string, interprocedural, precompute bool) (version, error) {
+	entry, err := a.cache.get(src)
+	if err != nil {
+		return version{}, errKind(ParseError, stage, err)
+	}
+	prog := entry.prog
+	if prog.Proc(procName) == nil {
+		return version{}, &Error{Kind: UnknownProc, Stage: stage, Err: errProcNotFound(procName)}
+	}
+	if interprocedural {
+		flat, err := inline.Program(prog, procName)
+		if err != nil {
+			return version{}, errKind(UnknownProc, stage, err)
+		}
+		g := cfg.Build(flat.Proc(procName))
+		if precompute {
+			g.Precompute()
+		}
+		return version{prog: flat, proc: flat.Proc(procName), graph: g}, nil
+	}
+	proc := prog.Proc(procName)
+	// Validate before building CFGs: cfg.Build rejects unexpanded calls.
+	if err := symexec.CheckNoCalls(proc); err != nil {
+		return version{}, &Error{Kind: TypeError, Stage: stage, Err: err}
+	}
+	return version{prog: prog, proc: proc, graph: entry.graph(proc)}, nil
+}
+
+// runJob executes a prepared directed-analysis job and converts the outcome
+// into the public Result, classifying interrupts and budget trips.
+func (a *Analyzer) runJob(job idise.Job, modProg *ast.Program, procName string) (*Result, error) {
+	res := idise.Run(job)
+	if err := job.Engine.InterruptErr(); err != nil {
+		return nil, &Error{Kind: Cancelled, Err: err}
+	}
+	if res.Summary.Stats.MaxStatesHit {
+		return nil, &Error{Kind: BudgetExhausted}
+	}
+	out := &Result{
+		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths), a.resultConfig()),
+		ChangedNodes:             res.Affected.ChangedNodes,
+		AffectedConditionalLines: res.Affected.ACNLines(),
+		AffectedWriteLines:       res.Affected.AWNLines(),
+		internal:                 res,
+		config:                   a.resultConfig(),
+		modProg:                  modProg,
+		procName:                 procName,
+	}
+	for _, p := range res.Summary.Paths {
+		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
+	}
+	return out, nil
+}
+
 func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo) bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &Error{Kind: Cancelled, Err: err}
 	}
 
-	baseEntry, err := a.cache.get(req.BaseSrc)
+	base, err := a.resolveVersion(req.BaseSrc, req.Proc, "base version", req.Interprocedural, false)
 	if err != nil {
-		return nil, errKind(ParseError, "base version", err)
+		return nil, err
 	}
-	modEntry, err := a.cache.get(req.ModSrc)
+	mod, err := a.resolveVersion(req.ModSrc, req.Proc, "modified version", req.Interprocedural, true)
 	if err != nil {
-		return nil, errKind(ParseError, "modified version", err)
-	}
-
-	baseProg, modProg := baseEntry.prog, modEntry.prog
-	var (
-		baseProc, modProc   *ast.Procedure
-		baseGraph, modGraph *cfg.Graph
-	)
-	if req.Interprocedural {
-		if baseProg.Proc(req.Proc) == nil {
-			return nil, &Error{Kind: UnknownProc, Stage: "base version", Err: errProcNotFound(req.Proc)}
-		}
-		if modProg.Proc(req.Proc) == nil {
-			return nil, &Error{Kind: UnknownProc, Stage: "modified version", Err: errProcNotFound(req.Proc)}
-		}
-		// Inlined programs are derived per request and not cached: the
-		// cache's unit is a source text, and inlining is cheap next to the
-		// exploration it feeds.
-		baseFlat, err := inline.Program(baseProg, req.Proc)
-		if err != nil {
-			return nil, errKind(UnknownProc, "base version", err)
-		}
-		modFlat, err := inline.Program(modProg, req.Proc)
-		if err != nil {
-			return nil, errKind(UnknownProc, "modified version", err)
-		}
-		baseProg, modProg = baseFlat, modFlat
-		baseProc = baseFlat.Proc(req.Proc)
-		modProc = modFlat.Proc(req.Proc)
-	} else {
-		if baseProc = baseProg.Proc(req.Proc); baseProc == nil {
-			return nil, &Error{Kind: UnknownProc, Stage: "base version", Err: errProcNotFound(req.Proc)}
-		}
-		if modProc = modProg.Proc(req.Proc); modProc == nil {
-			return nil, &Error{Kind: UnknownProc, Stage: "modified version", Err: errProcNotFound(req.Proc)}
-		}
-		// Validate before building CFGs: cfg.Build rejects unexpanded calls.
-		if err := symexec.CheckNoCalls(baseProc); err != nil {
-			return nil, &Error{Kind: TypeError, Stage: "base version", Err: err}
-		}
-		if err := symexec.CheckNoCalls(modProc); err != nil {
-			return nil, &Error{Kind: TypeError, Stage: "modified version", Err: err}
-		}
-		baseGraph = baseEntry.graph(baseProc)
-		modGraph = modEntry.graph(modProc)
+		return nil, err
 	}
 
 	// CheckNoCalls already validated the procedure, so a construction
 	// failure here means the engine configuration itself is unusable
 	// (e.g. an unknown solver backend name).
-	engine, err := symexec.NewPrepared(modProg, modProc, modGraph, a.engineConfig(ctx))
+	engine, err := symexec.NewPrepared(mod.prog, mod.proc, mod.graph, a.engineConfig(ctx))
 	if err != nil {
 		return nil, errKind(InvalidConfig, "", err)
 	}
@@ -317,34 +347,13 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo
 			return yield(PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
 		}
 	}
-	res := idise.Run(idise.Job{
-		BaseProc:  baseProc,
-		BaseGraph: baseGraph,
+	return a.runJob(idise.Job{
+		BaseProc:  base.proc,
+		BaseGraph: base.graph,
 		Engine:    engine,
 		Opts:      idise.Options{TransitiveWrites: a.conf.transitiveWrites},
 		OnPath:    onPath,
-	})
-	if err := engine.InterruptErr(); err != nil {
-		return nil, &Error{Kind: Cancelled, Err: err}
-	}
-	if res.Summary.Stats.MaxStatesHit {
-		return nil, &Error{Kind: BudgetExhausted}
-	}
-
-	out := &Result{
-		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths), a.resultConfig()),
-		ChangedNodes:             res.Affected.ChangedNodes,
-		AffectedConditionalLines: res.Affected.ACNLines(),
-		AffectedWriteLines:       res.Affected.AWNLines(),
-		internal:                 res,
-		config:                   a.resultConfig(),
-		modProg:                  modProg,
-		procName:                 req.Proc,
-	}
-	for _, p := range res.Summary.Paths {
-		out.Paths = append(out.Paths, PathInfo{PathCondition: p.PCString, AssertViolated: p.Err})
-	}
-	return out, nil
+	}, mod.prog, req.Proc)
 }
 
 // AnalyzeInterprocedural runs DiSE over a whole multi-procedure program:

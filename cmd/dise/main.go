@@ -7,6 +7,13 @@
 //
 //	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
 //	     [-solver interval|bitvec] [-strategy dfs|bfs|directed] [-explore-parallelism N]
+//
+// Chain mode drives a version-chain session (memoized execution-tree reuse,
+// see the "Version-chain sessions" section of the README) over an evolution
+// sequence, printing per-step timing and memo statistics:
+//
+//	dise -chain v1.mini,v2.mini,v3.mini [-proc update] [-json]
+//	dise -artifact asw|wbs|oae [-json]
 package main
 
 import (
@@ -16,8 +23,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"dise"
+	"dise/internal/artifacts"
 )
 
 // jsonResult is the machine-readable output of -json.
@@ -41,10 +51,37 @@ func main() {
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
 	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
+	chain := flag.String("chain", "", "comma-separated version files: run a version-chain session over them in order")
+	artifact := flag.String("artifact", "", "run the built-in evolution chain of an artifact (asw, wbs or oae)")
 	flag.Parse()
+
+	ctx0, stop0 := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop0()
+
+	if *chain != "" || *artifact != "" {
+		// Reject pairwise-only flags instead of silently ignoring them.
+		if *basePath != "" || *modPath != "" {
+			exitOn(fmt.Errorf("-base/-mod and -chain/-artifact are mutually exclusive"))
+		}
+		if *tests {
+			exitOn(fmt.Errorf("-tests is not supported in chain mode"))
+		}
+		runChain(ctx0, chainConfig{
+			chain:              *chain,
+			artifact:           *artifact,
+			proc:               *proc,
+			depth:              *depth,
+			asJSON:             *asJSON,
+			solver:             *solverName,
+			strategy:           *strategy,
+			exploreParallelism: *exploreParallelism,
+		})
+		return
+	}
 
 	if *basePath == "" || *modPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME] [-strategy NAME] [-explore-parallelism N]")
+		fmt.Fprintln(os.Stderr, "       dise -chain V1,V2,... | -artifact asw|wbs|oae  [-proc NAME] [-json]")
 		os.Exit(2)
 	}
 	baseSrc, err := os.ReadFile(*basePath)
@@ -52,18 +89,11 @@ func main() {
 	modSrc, err := os.ReadFile(*modPath)
 	exitOn(err)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx := ctx0
 
 	procName := *proc
 	if procName == "" {
-		prog, err := dise.ParseProgram(string(modSrc))
-		exitOn(err)
-		procs := prog.Procedures()
-		if len(procs) != 1 {
-			exitOn(fmt.Errorf("-proc required: program has %d procedures %v", len(procs), procs))
-		}
-		procName = procs[0]
+		procName = inferProc(string(modSrc))
 	}
 
 	a := dise.NewAnalyzer(
@@ -130,6 +160,140 @@ func main() {
 			fmt.Printf("  %s\n", tc.Call)
 		}
 	}
+}
+
+// chainConfig carries the flags of chain mode.
+type chainConfig struct {
+	chain              string
+	artifact           string
+	proc               string
+	depth              int
+	asJSON             bool
+	solver             string
+	strategy           string
+	exploreParallelism int
+}
+
+// chainStep is the machine-readable record of one Session.Advance.
+type chainStep struct {
+	Version string `json:"version"`
+	// AdvanceMilliseconds is the wall time of the whole step: diff, trie
+	// rekeying, directed search and result assembly. Stats.TimeMilliseconds
+	// inside covers the search alone.
+	AdvanceMilliseconds int64 `json:"advance_ms"`
+	jsonResult
+}
+
+// chainOutput is the -json envelope of chain mode.
+type chainOutput struct {
+	Procedure string      `json:"procedure"`
+	Versions  int         `json:"versions"`
+	Steps     []chainStep `json:"steps"`
+}
+
+// runChain drives a version-chain session over the given version files (or a
+// built-in artifact's evolution chain), printing per-step timing and memo
+// statistics.
+func runChain(ctx context.Context, cfg chainConfig) {
+	var (
+		names    []string
+		sources  []string
+		procName = cfg.proc
+	)
+	switch {
+	case cfg.artifact != "" && cfg.chain != "":
+		exitOn(fmt.Errorf("-chain and -artifact are mutually exclusive"))
+	case cfg.artifact != "":
+		art, ok := artifacts.ByName(strings.ToUpper(cfg.artifact))
+		if !ok {
+			exitOn(fmt.Errorf("unknown artifact %q (have asw, wbs, oae)", cfg.artifact))
+		}
+		names, sources = []string{"base"}, []string{art.Base}
+		for _, v := range art.Versions {
+			names = append(names, v.Name)
+			sources = append(sources, art.SourceFor(v))
+		}
+		if procName == "" {
+			procName = art.Proc
+		}
+	default:
+		files := strings.Split(cfg.chain, ",")
+		if len(files) < 2 {
+			exitOn(fmt.Errorf("-chain needs at least two version files, got %d", len(files)))
+		}
+		for _, f := range files {
+			f = strings.TrimSpace(f)
+			src, err := os.ReadFile(f)
+			exitOn(err)
+			names = append(names, f)
+			sources = append(sources, string(src))
+		}
+	}
+
+	if procName == "" {
+		procName = inferProc(sources[0])
+	}
+
+	a := dise.NewAnalyzer(
+		dise.WithDepthBound(cfg.depth),
+		dise.WithSolverBackend(cfg.solver),
+		dise.WithSearchStrategy(cfg.strategy),
+		dise.WithExploreParallelism(cfg.exploreParallelism),
+	)
+	seedStart := time.Now()
+	sess, err := a.NewSession(ctx, dise.SessionRequest{InitialSrc: sources[0], Proc: procName})
+	exitOn(err)
+	seedMs := time.Since(seedStart).Milliseconds()
+
+	if !cfg.asJSON {
+		fmt.Printf("procedure: %s · chain of %d versions (%d steps)\n", procName, len(sources), len(sources)-1)
+		fmt.Printf("seeded session from %s in %dms (full exploration of the initial version)\n", names[0], seedMs)
+	}
+
+	out := chainOutput{Procedure: procName, Versions: len(sources)}
+	for i := 1; i < len(sources); i++ {
+		start := time.Now()
+		res, err := sess.Advance(ctx, sources[i])
+		exitOn(err)
+		elapsed := time.Since(start).Milliseconds()
+		m := res.Stats.Memo
+		if cfg.asJSON {
+			out.Steps = append(out.Steps, chainStep{
+				Version:             names[i],
+				AdvanceMilliseconds: elapsed,
+				jsonResult: jsonResult{
+					Procedure:                procName,
+					ChangedNodes:             res.ChangedNodes,
+					AffectedConditionalLines: res.AffectedConditionalLines,
+					AffectedWriteLines:       res.AffectedWriteLines,
+					Stats:                    res.Stats,
+					Paths:                    res.Paths,
+				},
+			})
+			continue
+		}
+		fmt.Printf("step %2d  %-8s %4dms  paths %4d  changed nodes %2d  solver checks %4d\n",
+			m.Step, names[i], elapsed, len(res.Paths), res.ChangedNodes, res.Stats.Solver.Checks)
+		fmt.Printf("         memo: %d hits · %d states replayed / %d live · trie %d nodes (%d kept, %d invalidated)\n",
+			m.MemoHits, m.StatesReplayed, m.StatesExploredLive, m.TrieNodes, m.NodesKept, m.NodesInvalidated)
+	}
+	if cfg.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(out))
+	}
+}
+
+// inferProc resolves the procedure under analysis when -proc is absent: the
+// program must contain exactly one.
+func inferProc(src string) string {
+	prog, err := dise.ParseProgram(src)
+	exitOn(err)
+	procs := prog.Procedures()
+	if len(procs) != 1 {
+		exitOn(fmt.Errorf("-proc required: program has %d procedures %v", len(procs), procs))
+	}
+	return procs[0]
 }
 
 func exitOn(err error) {

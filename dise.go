@@ -121,6 +121,37 @@ type Stats struct {
 	// Solver breaks the solver work down by the incremental machinery of
 	// the constraint subsystem (internal/constraint).
 	Solver SolverStats `json:"solver_stats"`
+	// Memo reports the execution-tree reuse of a version-chain session
+	// (Session.Advance); it is zero for one-shot Analyze calls.
+	Memo MemoStats `json:"memo_stats"`
+}
+
+// MemoStats is the observability block of a version-chain session step: how
+// much of the previous version's recorded execution tree survived the edit,
+// and how many solver decisions were answered from it. Like the solver
+// counters, the replay/live split includes speculative work and may vary
+// with parallelism; the analysis outcome does not.
+type MemoStats struct {
+	// Enabled distinguishes a session step from a cold Analyze.
+	Enabled bool `json:"enabled"`
+	// Step counts Advance calls on the session, starting at 1.
+	Step int `json:"step"`
+	// MemoHits counts branch feasibility decisions answered by a recorded
+	// verdict — decisions made with no constraint.Backend.Check call at all.
+	MemoHits int `json:"memo_hits"`
+	// StatesReplayed counts state expansions served on a matched trie node
+	// with recorded facts; StatesExploredLive counts expansions recorded
+	// fresh (changed, newly reached, or previously pruned regions).
+	StatesReplayed     int `json:"states_replayed"`
+	StatesExploredLive int `json:"states_explored_live"`
+	// NodesKept and NodesInvalidated report the diff-driven trie rewrite
+	// that preceded the run: recorded nodes whose statements survived the
+	// edit versus nodes dropped because their statement changed, moved, or
+	// the symbolic inputs diverged.
+	NodesKept        int `json:"nodes_kept"`
+	NodesInvalidated int `json:"nodes_invalidated"`
+	// TrieNodes is the size of the memo trie after the step.
+	TrieNodes int `json:"trie_nodes"`
 }
 
 // SolverStats is the observability block of the constraint subsystem: how

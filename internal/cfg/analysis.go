@@ -63,6 +63,7 @@ func (g *Graph) Precompute() {
 	g.ensurePostDom()
 	g.ensureSCC()
 	g.ensureDist()
+	g.ensureStableKeys()
 }
 
 // ensureReach computes the reflexive-transitive reachability relation.

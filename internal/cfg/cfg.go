@@ -157,11 +157,58 @@ type Graph struct {
 	stmtNode map[ast.Stmt]*Node
 
 	// Lazily computed analyses; see analysis.go.
-	reach   []bitset
-	pdom    []bitset
-	sccID   []int
-	sccList [][]*Node
-	dist    [][]int32
+	reach      []bitset
+	pdom       []bitset
+	sccID      []int
+	sccList    [][]*Node
+	dist       [][]int32
+	stableKeys map[int]string
+}
+
+// Reserved stable keys of the nodes that exist independently of any source
+// statement. They are identical in every graph, so they correspond across
+// any two program versions.
+const (
+	StableKeyBegin = "^begin"
+	StableKeyEnd   = "$end"
+	StableKeyError = "!assert-fail"
+)
+
+// ensureStableKeys computes the node → stable-key map. Statement nodes take
+// the structural path key of their originating statement (ast.StmtKeys);
+// begin, end and the assert-failure sink take the reserved keys above.
+func (g *Graph) ensureStableKeys() {
+	if g.stableKeys != nil {
+		return
+	}
+	keys := make(map[int]string, len(g.Nodes))
+	stmtKeys := ast.StmtKeys(g.Proc)
+	for _, n := range g.Nodes {
+		switch {
+		case n == g.Begin:
+			keys[n.ID] = StableKeyBegin
+		case n == g.End:
+			keys[n.ID] = StableKeyEnd
+		case n == g.Error:
+			keys[n.ID] = StableKeyError
+		default:
+			keys[n.ID] = stmtKeys[n.Stmt]
+		}
+	}
+	g.stableKeys = keys
+}
+
+// StableKeys returns the map from node ID to the node's stable key: an
+// identity derived from the originating statement's structural position, not
+// from node numbering or source lines. Two builds of the same source assign
+// identical keys, and the cross-version correspondence map of internal/diff
+// relates the keys of unchanged statements between two program versions —
+// which is what lets the memoized execution-tree trie (internal/memo)
+// recognize a node across an edit. The returned map is the graph's cache:
+// callers must treat it as read-only.
+func (g *Graph) StableKeys() map[int]string {
+	g.ensureStableKeys()
+	return g.stableKeys
 }
 
 // NodeFor returns the CFG node created for statement s, or nil.

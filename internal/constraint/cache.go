@@ -62,6 +62,14 @@ type prefixEntry struct {
 // the incremental machinery: within one engine the frame stack carries
 // solver state down the tree, and the cache carries it across pop/re-push
 // boundaries and across engines.
+//
+// The keys are content, not provenance: a chained digest of the input
+// domains and the asserted constraints' canonical renderings, with no
+// program-version component. Entries therefore also survive across the
+// steps of a version-chain session (dise.Session) — two versions of a
+// program asserting the same constraint sequence over the same domains
+// compute the same key, so live re-solves in step N hit prefixes solved in
+// step N-1 even in regions the execution-tree memo had to invalidate.
 type PrefixCache struct {
 	mu       sync.Mutex
 	capacity int

@@ -1,0 +1,48 @@
+package diff
+
+import (
+	"dise/internal/lang/ast"
+)
+
+// Correspondence is the stable cross-version node correspondence map: for
+// every statement the diff proves strictly unchanged between the base and
+// the modified version, it relates the statement's stable structural key in
+// the base version (ast.StmtKeys) to its key in the modified version.
+//
+// The map is deliberately conservative, which is what makes it safe to build
+// memoization on (internal/memo replays recorded solver verdicts only across
+// corresponding nodes):
+//
+//   - only statements paired by the diff AND marked Unchanged on both sides
+//     participate — changed, added and removed statements never correspond;
+//   - a renamed or moved statement is removed-plus-added (or changed) in the
+//     diff, so it is never falsely matched to an unrelated statement that
+//     happens to share its text or its position;
+//   - for if/while statements, Unchanged means the condition is unchanged —
+//     exactly the guarantee the condition's CFG node needs; edits inside the
+//     branches invalidate the branch statements' own keys, not the guard's.
+type Correspondence struct {
+	// BaseToMod maps the stable key of an unchanged base statement to the
+	// stable key of its counterpart in the modified version.
+	BaseToMod map[string]string
+}
+
+// Correspondence computes the cross-version statement-key correspondence of
+// the diff (see the Correspondence type). Both directions of the underlying
+// pairing are injective, so the returned map is too.
+func (r *Result) Correspondence() *Correspondence {
+	baseKeys := ast.StmtKeys(r.Base)
+	modKeys := ast.StmtKeys(r.Mod)
+	c := &Correspondence{BaseToMod: map[string]string{}}
+	for bs, ms := range r.Pairs {
+		if r.BaseMarks[bs] != Unchanged || r.ModMarks[ms] != Unchanged {
+			continue
+		}
+		bk, okB := baseKeys[bs]
+		mk, okM := modKeys[ms]
+		if okB && okM {
+			c.BaseToMod[bk] = mk
+		}
+	}
+	return c
+}

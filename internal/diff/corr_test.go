@@ -1,0 +1,178 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dise/internal/lang/ast"
+	"dise/internal/lang/parser"
+)
+
+// corrBase is a program with statements at several nesting depths, used to
+// exercise the correspondence map's key stability.
+const corrBase = `
+int g = 0;
+proc p(int a, int b) {
+  g = 0;
+  if (a > 3) {
+    g = 1;
+    if (b > 5) { g = 2; } else { g = 3; }
+  } else {
+    g = 4;
+  }
+  if (b > 7) { g = g + 1; }
+  assert g >= 0;
+  g = g + 10;
+}
+`
+
+// edits rewrite one statement of corrBase in place, one edit per case.
+var corrEdits = []struct{ old, new string }{
+	{"g = 0;\n  if", "g = 9;\n  if"}, // top-level write (first occurrence in the body)
+	{"a > 3", "a > 4"},               // outer conditional guard
+	{"g = 1;", "g = 7;"},             // write inside then-branch
+	{"b > 5", "b >= 5"},              // nested conditional guard
+	{"g = 3;", "g = 8;"},             // write inside nested else
+	{"g = 4;", "g = 5;"},             // write inside outer else
+	{"b > 7", "b > 6"},               // second top-level conditional
+	{"g >= 0", "g >= 1"},             // assert condition
+	{"g = g + 10;", "g = g + 11;"},   // trailing write
+}
+
+func mustProc(t *testing.T, src string) *ast.Procedure {
+	t.Helper()
+	return parser.MustParse(src).Proc("p")
+}
+
+// TestCorrespondenceStableUnderSingleEdit is the key-stability property: an
+// in-place edit of one statement leaves every other statement's key stable —
+// the correspondence maps it to itself — while the edited statement (and
+// only it, plus enclosing compounds whose own guard changed) drops out.
+func TestCorrespondenceStableUnderSingleEdit(t *testing.T) {
+	base := mustProc(t, corrBase)
+	baseKeys := ast.StmtKeys(base)
+	for _, e := range corrEdits {
+		e := e
+		t.Run(e.old, func(t *testing.T) {
+			src := strings.Replace(corrBase, e.old, e.new, 1)
+			if src == corrBase {
+				t.Fatalf("edit %q did not apply", e.old)
+			}
+			mod := mustProc(t, src)
+			d := Procedures(base, mod)
+			corr := d.Correspondence().BaseToMod
+
+			// Every statement the diff left strictly unchanged keeps its key:
+			// position-derived keys only move when positions move, and an
+			// in-place edit moves nothing.
+			for bs, mark := range d.BaseMarks {
+				key := baseKeys[bs]
+				mapped, ok := corr[key]
+				if mark == Unchanged {
+					if !ok {
+						t.Errorf("unchanged statement %q (key %s) has no correspondence", bs, key)
+					} else if mapped != key {
+						t.Errorf("unchanged statement %q moved: key %s -> %s", bs, key, mapped)
+					}
+					continue
+				}
+				if ok {
+					t.Errorf("%s statement %q (key %s) must not correspond", mark, bs, key)
+				}
+			}
+
+			// The edited statement itself must have dropped out.
+			changed := 0
+			for _, mark := range d.BaseMarks {
+				if mark != Unchanged {
+					changed++
+				}
+			}
+			if changed == 0 {
+				t.Fatalf("diff saw no change for edit %q", e.old)
+			}
+		})
+	}
+}
+
+// TestCorrespondenceNeverFalselyMatches is the conservativeness property:
+// whatever the edit, every pair in the correspondence relates two statements
+// whose CFG-node-relevant text is identical — the full statement for leaves,
+// the guard condition for if/while (whose CFG node is the guard; body edits
+// invalidate the body statements' own keys, not the guard's). A renamed or
+// rewritten statement is never matched to a different one that happens to
+// share its position, and a moved statement is only ever matched to its own
+// identical text.
+func TestCorrespondenceNeverFalselyMatches(t *testing.T) {
+	base := mustProc(t, corrBase)
+	mods := []string{
+		// Rename: same shape, different variable.
+		strings.Replace(corrBase, "g = 1;", "g = b;", 1),
+		// Move: swap two adjacent top-level statements.
+		strings.Replace(corrBase, "assert g >= 0;\n  g = g + 10;", "g = g + 10;\n  assert g >= 0;", 1),
+		// Insertion: shifts every later sibling's position.
+		strings.Replace(corrBase, "g = 0;\n  if", "g = 0;\n  g = g + 2;\n  if", 1),
+		// Deletion.
+		strings.Replace(corrBase, "  g = g + 10;\n", "", 1),
+	}
+	for i, src := range mods {
+		t.Run(fmt.Sprintf("mod%d", i), func(t *testing.T) {
+			mod := mustProc(t, src)
+			d := Procedures(base, mod)
+			corr := d.Correspondence()
+			baseByKey := invert(ast.StmtKeys(base))
+			modByKey := invert(ast.StmtKeys(mod))
+			seen := map[string]bool{}
+			for bk, mk := range corr.BaseToMod {
+				bs, ok1 := baseByKey[bk]
+				ms, ok2 := modByKey[mk]
+				if !ok1 || !ok2 {
+					t.Fatalf("correspondence names unknown keys %s -> %s", bk, mk)
+				}
+				if nodeText(bs) != nodeText(ms) {
+					t.Errorf("false match: base %q (key %s) -> mod %q (key %s)", bs, bk, ms, mk)
+				}
+				if seen[mk] {
+					t.Errorf("correspondence is not injective at mod key %s", mk)
+				}
+				seen[mk] = true
+			}
+		})
+	}
+}
+
+// nodeText is the text the statement's CFG node carries: the guard for
+// compound statements, the whole statement otherwise.
+func nodeText(s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.If:
+		return "if " + s.Cond.String()
+	case *ast.While:
+		return "while " + s.Cond.String()
+	}
+	return s.String()
+}
+
+func invert(keys map[ast.Stmt]string) map[string]ast.Stmt {
+	out := make(map[string]ast.Stmt, len(keys))
+	for s, k := range keys {
+		out[k] = s
+	}
+	return out
+}
+
+// TestStmtKeysUniquePerProcedure pins that structural keys identify
+// statements uniquely — the property that makes them usable as CFG node
+// identities.
+func TestStmtKeysUniquePerProcedure(t *testing.T) {
+	proc := mustProc(t, corrBase)
+	keys := ast.StmtKeys(proc)
+	seen := map[string]ast.Stmt{}
+	for s, k := range keys {
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key %s assigned to both %q and %q", k, prev, s)
+		}
+		seen[k] = s
+	}
+}

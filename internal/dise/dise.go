@@ -57,6 +57,10 @@ type Job struct {
 	BaseProc *ast.Procedure
 	// BaseGraph is an optional prebuilt CFG of BaseProc; built when nil.
 	BaseGraph *cfg.Graph
+	// Diff is an optional precomputed diff of BaseProc against the engine's
+	// procedure; computed when nil. Version-chain sessions pass it in so the
+	// one diff drives both the affected sets and the memo-trie rekeying.
+	Diff *diff.Result
 	// Engine executes the modified version (it owns the modified CFG).
 	Engine *symexec.Engine
 	// Opts tunes the affected-set computation.
@@ -74,7 +78,10 @@ func Run(job Job) *Result {
 		baseGraph = cfg.Build(job.BaseProc)
 	}
 	engine := job.Engine
-	d := diff.Procedures(job.BaseProc, engine.Proc)
+	d := job.Diff
+	if d == nil {
+		d = diff.Procedures(job.BaseProc, engine.Proc)
+	}
 	affected := ComputeAffected(baseGraph, engine.Graph, d, job.Opts)
 	runner := NewRunner(engine, affected)
 	runner.OnPath = job.OnPath

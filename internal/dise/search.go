@@ -165,6 +165,12 @@ func (r *Runner) Child(c *symexec.State) symexec.ChildVerdict {
 		return symexec.ChildDescend
 	default:
 		r.PruneStats.PrunedStates++
+		// Pruning is change-dependent (it depends on which nodes THIS pair of
+		// versions affected) and order-sensitive, so the memo trie records it
+		// as a decision to re-make, never to replay: the next version's
+		// search re-decides reachability against its own affected sets, and
+		// only solver verdicts — version-independent facts — are reused.
+		c.MarkMemoPruned()
 		return symexec.ChildPrune
 	}
 }

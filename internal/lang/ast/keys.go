@@ -1,0 +1,36 @@
+package ast
+
+import "strconv"
+
+// StmtKeys assigns every statement of proc a stable structural key: the path
+// from the procedure body to the statement, rendered as "s2", "s2/then/s0",
+// "s3/body/s1", and so on. Keys depend only on a statement's position in the
+// AST, not on its text or source line, so an in-place edit of one statement
+// leaves every other statement's key unchanged — the property the
+// cross-version node correspondence map (internal/diff) and the memoized
+// execution-tree trie (internal/memo) are built on. Inserting or deleting a
+// statement shifts the keys of its later siblings; consumers treat a key
+// that no longer corresponds as conservatively unmatched.
+func StmtKeys(proc *Procedure) map[Stmt]string {
+	keys := map[Stmt]string{}
+	keyStmts(proc.Body.Stmts, "", keys)
+	return keys
+}
+
+func keyStmts(stmts []Stmt, prefix string, keys map[Stmt]string) {
+	for i, s := range stmts {
+		key := prefix + "s" + strconv.Itoa(i)
+		keys[s] = key
+		switch s := s.(type) {
+		case *If:
+			keyStmts(s.Then.Stmts, key+"/then/", keys)
+			if s.Else != nil {
+				keyStmts(s.Else.Stmts, key+"/else/", keys)
+			}
+		case *While:
+			keyStmts(s.Body.Stmts, key+"/body/", keys)
+		case *Block:
+			keyStmts(s.Stmts, key+"/blk/", keys)
+		}
+	}
+}

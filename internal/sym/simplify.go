@@ -162,7 +162,25 @@ func Cmp(op Op, l, r Expr) Expr {
 			return False
 		}
 	}
+	// Canonicalize a constant on the left (0 == x → x == 0, 3 < x → x > 3):
+	// the two spellings denote the same relation, and normalizing them keeps
+	// path conditions readable and makes the canonical rendering stable
+	// under operand-order edits — which is what lets the version-chain memo
+	// (internal/memo) recognize a reordered-but-equivalent constraint as the
+	// same conjunction.
+	if isConstExpr(l) && !isConstExpr(r) {
+		op, l, r = op.Swap(), r, l
+	}
 	return &Bin{Op: op, L: l, R: r}
+}
+
+// isConstExpr reports a literal constant operand.
+func isConstExpr(e Expr) bool {
+	switch e.(type) {
+	case *IntConst, *BoolConst:
+		return true
+	}
+	return false
 }
 
 func evalCmpInt(op Op, a, b int64) bool {

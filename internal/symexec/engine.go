@@ -2,6 +2,8 @@ package symexec
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"dise/internal/cfg"
@@ -9,6 +11,7 @@ import (
 	"dise/internal/lang/ast"
 	"dise/internal/lang/token"
 	"dise/internal/lang/types"
+	"dise/internal/memo"
 	"dise/internal/solver"
 	"dise/internal/sym"
 )
@@ -48,6 +51,14 @@ type Config struct {
 	// the error is available from InterruptErr. This is how context
 	// cancellation reaches the innermost search loop.
 	Interrupt func() error
+	// Memo, when non-nil, is the session-persistent execution-tree trie of a
+	// version-chain session (internal/memo): Step consults it before calling
+	// the constraint backend — a branch whose recorded verdict matches is
+	// decided with no Backend.Check call at all (counted in Stats.MemoHits) —
+	// and records the verdicts of live solves into it for the next version.
+	// The trie must already be keyed in this engine's version space (the
+	// session's Rekey pass); engines sharing a run (forks) share the trie.
+	Memo *memo.Tree
 	// Strategy selects the exploration order of the scheduler by name
 	// ("dfs", "bfs", "directed"; see frontier.go). Empty selects DFS, the
 	// classic depth-first order. Unknown names fail engine construction.
@@ -97,6 +108,20 @@ type Stats struct {
 	MaxStatesHit bool
 	Time         time.Duration
 	Solver       constraint.Stats
+
+	// Memo counters of a version-chain session run (zero without Config.Memo).
+	// Like the solver counters they include speculative work, so their split
+	// may vary with parallelism; the exploration outcome does not.
+	//
+	// MemoHits counts branch feasibility decisions answered by a recorded
+	// verdict from the execution-tree trie — decisions that made no
+	// constraint.Backend.Check call at all.
+	MemoHits int
+	// MemoStatesReplayed counts state expansions served on a matched trie
+	// node carrying recorded facts; MemoStatesLive counts expansions that
+	// recorded fresh facts (unmatched, wiped, or never-recorded nodes).
+	MemoStatesReplayed int
+	MemoStatesLive     int
 }
 
 // Engine symbolically executes one procedure.
@@ -124,6 +149,10 @@ type Engine struct {
 	stats        Stats
 	depthBound   int
 	interruptErr error
+	// memoKeys maps this graph's node IDs to their stable keys, resolved at
+	// build time when Config.Memo is set (read-only thereafter; forks share
+	// it).
+	memoKeys map[int]string
 	// stack mirrors the constraints currently asserted on the Backend, one
 	// frame per path-condition conjunct.
 	stack []sym.Expr
@@ -195,6 +224,11 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 	if e.depthBound == 0 {
 		e.depthBound = 1000
 	}
+	if config.Memo != nil {
+		// Resolve the stable keys here, on the construction goroutine, so
+		// forks (and the graph cache) only ever read them.
+		e.memoKeys = g.StableKeys()
+	}
 	intDomain := config.IntDomain
 	if intDomain == (solver.Interval{}) {
 		intDomain = solver.DefaultDomain
@@ -243,6 +277,7 @@ func (e *Engine) Fork() (*Engine, error) {
 		config:     e.config,
 		domains:    e.domains,
 		depthBound: e.depthBound,
+		memoKeys:   e.memoKeys,
 	}
 	backend, err := constraint.New(e.config.SolverBackend, constraint.Options{
 		Domains:    e.domains,
@@ -255,6 +290,40 @@ func (e *Engine) Fork() (*Engine, error) {
 	}
 	ne.Backend = backend
 	return ne, nil
+}
+
+// MemoSignature digests everything a recorded solver verdict's validity
+// depends on besides the path condition itself: the symbolic input domains,
+// the initial environment (parameters and globals, concrete or symbolic),
+// the backend the verdicts came from (backends may disagree, e.g. wraparound
+// vs unbounded arithmetic), and the node budget (which decides where
+// Unknown — treated as unsat — cuts in). A version-chain session compares
+// the signatures of consecutive versions and invalidates its whole trie on
+// any difference, e.g. an edit that adds a parameter or re-types a global.
+func (e *Engine) MemoSignature() string {
+	var b strings.Builder
+	names := make([]string, 0, len(e.domains))
+	for n := range e.domains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := e.domains[n]
+		fmt.Fprintf(&b, "%s∈[%d,%d];", n, d.Lo, d.Hi)
+	}
+	b.WriteString("|env:")
+	for _, p := range e.Proc.Params {
+		fmt.Fprintf(&b, "%s=%s;", p.Name, symbolName(p.Name))
+	}
+	for _, gl := range e.Prog.Globals {
+		if e.config.ConcreteGlobals {
+			fmt.Fprintf(&b, "%s:=%s;", gl.Name, gl.Init.String())
+		} else {
+			fmt.Fprintf(&b, "%s=%s;", gl.Name, symbolName(gl.Name))
+		}
+	}
+	fmt.Fprintf(&b, "|backend=%s budget=%d", e.config.SolverBackend, e.config.SolverOptions.NodeBudget)
+	return b.String()
 }
 
 // symbolName maps a program variable to its symbolic input name, following
@@ -395,7 +464,11 @@ func (e *Engine) InitialState() *State {
 	for name, d := range e.domains {
 		model[name] = d.Lo
 	}
-	return &State{Node: e.Graph.Begin, Env: env, PC: nil, Trace: nil, model: model}
+	s := &State{Node: e.Graph.Begin, Env: env, PC: nil, Trace: nil, model: model}
+	if e.config.Memo != nil {
+		s.memo = e.config.Memo.Root(e.memoKeys[e.Graph.Begin.ID])
+	}
+	return s
 }
 
 // Step is the result of executing one CFG node symbolically.
@@ -442,12 +515,20 @@ func (e *Engine) Step(s *State) Step {
 		return Step{}
 	}
 
+	rec := e.memoEnter(s)
 	var out Step
+	// Branch arms and path-condition contributions of out.Feasible, tracked
+	// only when rec != nil (the chain invariant's induction data).
+	var vias []int8
+	var viaConds []sym.Expr
 	switch n.Kind {
 	case cfg.KindBegin, cfg.KindNop:
 		succ := s.fork(n.Succs[0].To)
 		succ.appendTraceIfStmt(n)
 		out.Feasible = append(out.Feasible, succ)
+		if rec != nil {
+			vias, viaConds = append(vias, memo.ViaFlow), append(viaConds, nil)
+		}
 	case cfg.KindWrite:
 		a := n.Stmt.(*ast.Assign)
 		val := e.evalExpr(a.Value, s.Env)
@@ -455,15 +536,19 @@ func (e *Engine) Step(s *State) Step {
 		succ.Env[a.Name] = val
 		succ.appendTraceIfStmt(n)
 		out.Feasible = append(out.Feasible, succ)
+		if rec != nil {
+			vias, viaConds = append(vias, memo.ViaFlow), append(viaConds, nil)
+		}
 	case cfg.KindCond:
 		cond := e.evalExpr(n.Cond, s.Env)
-		for _, branch := range []struct {
+		for arm, branch := range []struct {
 			c  sym.Expr
 			to *cfg.Node
 		}{
 			{cond, n.TrueSucc()},
 			{sym.NotE(cond), n.FalseSucc()},
 		} {
+			via := int8(arm) // memo.ViaTrue / memo.ViaFalse
 			switch c := branch.c.(type) {
 			case *sym.BoolConst:
 				if !c.V {
@@ -481,6 +566,10 @@ func (e *Engine) Step(s *State) Step {
 					succ.Err = true
 				}
 				out.Feasible = append(out.Feasible, succ)
+				if rec != nil {
+					// A folded branch appends no conjunct: nil contribution.
+					vias, viaConds = append(vias, via), append(viaConds, nil)
+				}
 			default:
 				var model map[string]int64
 				if s.model != nil {
@@ -489,6 +578,26 @@ func (e *Engine) Step(s *State) Step {
 						// constraint: PC ∧ c is satisfiable without solving.
 						model = s.model
 						e.stats.ModelHits++
+					}
+				}
+				if model == nil && rec != nil {
+					// Memo replay: a previous version's run decided this
+					// exact conjunction (the chain invariant guarantees the
+					// node's recorded facts share this state's path
+					// condition; structural equality matches the constraint),
+					// so its verdict — and, for Sat, its deterministic
+					// witness — stands in for the backend with no Check call
+					// at all. The parent-model fast path above runs first,
+					// exactly as in a cold run, so the core counters stay
+					// byte-identical.
+					if v, ok := rec.Lookup(branch.c); ok {
+						e.stats.MemoHits++
+						if !v.Sat {
+							e.stats.InfeasibleBranches++
+							out.InfeasibleTargets = append(out.InfeasibleTargets, branch.to)
+							continue
+						}
+						model = v.Model
 					}
 				}
 				if model == nil {
@@ -501,6 +610,11 @@ func (e *Engine) Step(s *State) Step {
 					// re-solving.
 					e.syncStack(s.PC)
 					res := e.checkBranch(branch.c)
+					if rec != nil && !res.Unknown {
+						// Unknown is budget- and interrupt-dependent; only
+						// definitive verdicts become facts of the trie.
+						rec.Record(branch.c, res.Sat, res.Model)
+					}
 					if !res.Sat {
 						e.stats.InfeasibleBranches++
 						out.InfeasibleTargets = append(out.InfeasibleTargets, branch.to)
@@ -516,13 +630,69 @@ func (e *Engine) Step(s *State) Step {
 					succ.Err = true
 				}
 				out.Feasible = append(out.Feasible, succ)
+				if rec != nil {
+					vias, viaConds = append(vias, via), append(viaConds, branch.c)
+				}
 			}
 		}
 	default:
 		panic(fmt.Sprintf("symexec: cannot execute node %v", n))
 	}
+	if rec != nil {
+		e.memoLink(rec, out.Feasible, vias, viaConds)
+	}
 	e.stats.StatesExplored += len(out.Feasible)
 	return out
+}
+
+// memoEnter resolves the memo-trie node of a state about to be expanded.
+// The node's identity (stable key) is re-learned on divergence — e.g. an
+// inserted statement shifted the walk's alignment — but never gates replay:
+// data validity rests entirely on the chain invariant (internal/memo), which
+// memoLink enforces when children are attached.
+func (e *Engine) memoEnter(s *State) *memo.Node {
+	rec := s.memo
+	if rec == nil {
+		return nil
+	}
+	rec.Key = e.memoKeys[s.Node.ID]
+	if rec.Expanded {
+		e.stats.MemoStatesReplayed++
+	} else {
+		e.stats.MemoStatesLive++
+	}
+	return rec
+}
+
+// memoLink attaches trie nodes to the successors of an expansion. A recorded
+// child is reused only when both its branch arm and its path-condition
+// contribution match the successor's (the chain invariant's induction step:
+// matching by arm keeps a diamond-shaped join from inheriting the other
+// arm's context, matching by contribution keeps recorded facts bound to
+// their exact conjunction); otherwise the successor gets a fresh node.
+// Recorded children the expansion did not re-match are retained behind the
+// attached ones: their conjunctions simply do not occur in this version, but
+// a later version may produce them again — most commonly when an edit is
+// reverted, the dominant pattern of a version chain revisiting behaviors.
+func (e *Engine) memoLink(rec *memo.Node, feasible []*State, vias []int8, viaConds []sym.Expr) {
+	succs := make([]*memo.Node, 0, len(feasible)+len(rec.Succs))
+	attached := make(map[*memo.Node]bool, len(feasible))
+	for i, st := range feasible {
+		c := rec.Child(vias[i], viaConds[i])
+		if c == nil {
+			c = &memo.Node{Key: e.memoKeys[st.Node.ID], Via: vias[i], ViaCond: viaConds[i]}
+		}
+		attached[c] = true
+		succs = append(succs, c)
+		st.memo = c
+	}
+	for _, c := range rec.Succs {
+		if c != nil && !attached[c] {
+			succs = append(succs, c)
+		}
+	}
+	rec.Succs = succs
+	rec.Expanded = true
 }
 
 // appendTraceIfStmt records the executed node in the successor's trace when

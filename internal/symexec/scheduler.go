@@ -561,6 +561,9 @@ func (x *Explorer) mergedStats() Stats {
 	var solver constraint.Stats
 	for _, e := range x.engines {
 		st.PathsExplored += e.stats.PathsExplored
+		st.MemoHits += e.stats.MemoHits
+		st.MemoStatesReplayed += e.stats.MemoStatesReplayed
+		st.MemoStatesLive += e.stats.MemoStatesLive
 		solver.Add(e.Backend.Stats())
 	}
 	st.Solver = solver

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"dise/internal/cfg"
+	"dise/internal/memo"
 	"dise/internal/sym"
 )
 
@@ -44,6 +45,20 @@ type State struct {
 	// child inherits it and no solver call is needed — the dominant case,
 	// since exactly one branch outcome agrees with any given model.
 	model map[string]int64
+	// memo is the state's node in the session's execution-tree trie
+	// (internal/memo), assigned by the parent's expansion; nil when the
+	// engine runs without a memo (Config.Memo).
+	memo *memo.Node
+}
+
+// MarkMemoPruned records on the state's memo-trie node, if any, that the
+// pruner cut this state. Pruning decisions are change-dependent and
+// order-sensitive, so they are recorded for observability only — the next
+// version's search always re-decides them live (see internal/memo).
+func (s *State) MarkMemoPruned() {
+	if s.memo != nil {
+		s.memo.Pruned = true
+	}
 }
 
 // fork returns a copy of s with fresh Env/PC/Trace backing so that sibling
