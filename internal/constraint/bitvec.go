@@ -107,7 +107,10 @@ func (b *bitvecBackend) Pop() {
 func (b *bitvecBackend) Assert(c sym.Expr) {
 	top := b.frames[len(b.frames)-1]
 	top.cons = append(top.cons, b.transBool(c)...)
-	top.key = top.key.extend(c.String())
+	// Fingerprint-keyed like the interval backend (cache.go); native BV
+	// assertions below keep the salted string form, which the chained-key
+	// construction composes with freely.
+	top.key = top.key.extendFP(sym.Fingerprints(c))
 	top.res = nil
 	b.stats.Asserts++
 }

@@ -10,17 +10,37 @@ import (
 )
 
 // prefixKey identifies one assertion-stack prefix. It is a chained pair of
-// independent FNV-64a hashes over the canonical renderings of the asserted
-// constraints (seeded with a digest of the input domains), so two engines
-// asserting the same constraints over the same domains — sibling states of
-// one exploration, or two batch workers analyzing variants of one base
-// program — compute the same key. 128 bits make an accidental collision
-// (which would return a wrong verdict) negligible.
+// independently mixed 64-bit hashes over the asserted constraints (seeded
+// with a digest of the input domains), so two engines asserting the same
+// constraints over the same domains — sibling states of one exploration,
+// two batch workers analyzing variants of one base program, or consecutive
+// steps of a version-chain session — compute the same key. 128 bits make an
+// accidental collision (which would return a wrong verdict) negligible.
+//
+// Constraints enter the chain as their structural fingerprints
+// (sym.Fingerprints — precomputed field reads on hash-consed expressions),
+// not as rendered strings: extending the key is a handful of multiplies
+// instead of a rendering pass plus a byte-wise FNV walk, and structurally
+// distinct constraints that happen to render alike can no longer share an
+// entry. Each key half chains one of the expression's two independent
+// fingerprints, so a full key collision requires two independent 64-bit
+// hash functions to collide on the same pair — the ~2^-128 bound the
+// 128-bit key is meant to provide, not merely ~2^-64.
 type prefixKey struct {
 	h1, h2 uint64
 }
 
-// extend chains the key with one more asserted constraint.
+// extendFP chains the key with one asserted constraint's pair of structural
+// fingerprints, one per half, through sym's two independent full-avalanche
+// finalizers (splitmix64 for h1, murmur3 for h2 — so the halves never
+// collapse into functions of each other).
+func (k prefixKey) extendFP(fp1, fp2 uint64) prefixKey {
+	return prefixKey{h1: sym.Mix64(k.h1 ^ fp1), h2: sym.MixAlt(k.h2 + fp2*0x9e3779b97f4a7c15)}
+}
+
+// extend chains the key with one more string-keyed component (the domain
+// digest seed and native bitvector assertions, which have no sym
+// fingerprint).
 func (k prefixKey) extend(s string) prefixKey {
 	a := fnv.New64a()
 	writeU64(a, k.h1)
@@ -64,7 +84,7 @@ type prefixEntry struct {
 // boundaries and across engines.
 //
 // The keys are content, not provenance: a chained digest of the input
-// domains and the asserted constraints' canonical renderings, with no
+// domains and the asserted constraints' structural fingerprints, with no
 // program-version component. Entries therefore also survive across the
 // steps of a version-chain session (dise.Session) — two versions of a
 // program asserting the same constraint sequence over the same domains

@@ -379,3 +379,39 @@ func TestStatsAddCoversEveryCounter(t *testing.T) {
 		}
 	}
 }
+
+// TestPrefixKeyFingerprintChaining pins the fingerprint-keyed prefix chain:
+// rebuilding the same constraint sequence (hash-consed, so the same nodes)
+// chains the same key, different sequences diverge, order matters, and
+// structurally distinct constraints that render to the same string — a
+// variable named like a literal — no longer share a key the way the old
+// rendering-based chain did.
+func TestPrefixKeyFingerprintChaining(t *testing.T) {
+	c1 := sym.Cmp(sym.OpGT, sym.V("X"), sym.Zero)
+	c2 := sym.Cmp(sym.OpLE, sym.V("Y"), sym.Int(5))
+	seed := prefixKey{}
+
+	a := seed.extendFP(sym.Fingerprints(c1)).extendFP(sym.Fingerprints(c2))
+	b := seed.extendFP(sym.Fingerprints(sym.Cmp(sym.OpGT, sym.V("X"), sym.Zero))).
+		extendFP(sym.Fingerprints(sym.Cmp(sym.OpLE, sym.V("Y"), sym.Int(5))))
+	if a != b {
+		t.Fatalf("rebuilt constraint sequence chained a different key")
+	}
+	if rev := seed.extendFP(sym.Fingerprints(c2)).extendFP(sym.Fingerprints(c1)); rev == a {
+		t.Fatalf("assertion order does not influence the key")
+	}
+	if one := seed.extendFP(sym.Fingerprints(c1)); one == a {
+		t.Fatalf("prefix of a chain collides with the chain")
+	}
+
+	// "X == 5" the constant vs "X == 5" the variable named "5": identical
+	// renderings, distinct structures, distinct fingerprints.
+	asConst := sym.Cmp(sym.OpEQ, sym.V("X"), sym.Int(5))
+	asVar := sym.Cmp(sym.OpEQ, sym.V("X"), sym.V("5"))
+	if asConst.String() != asVar.String() {
+		t.Fatalf("test premise broken: renderings differ (%q vs %q)", asConst, asVar)
+	}
+	if seed.extendFP(sym.Fingerprints(asConst)) == seed.extendFP(sym.Fingerprints(asVar)) {
+		t.Fatalf("same-rendering constraints share a fingerprint key")
+	}
+}

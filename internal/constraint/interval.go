@@ -23,6 +23,10 @@ import (
 // PrefixCache, which stores them under the frame's chained key.
 type ivFrame struct {
 	exprs []sym.Expr
+	// expr0 is the inline backing array for exprs: the engine asserts
+	// exactly one constraint per frame, so the common case needs no second
+	// allocation beyond the frame itself.
+	expr0 [1]sym.Expr
 	key   prefixKey
 	box   map[string]solver.Interval // nil until computed; read-only once set
 	// residual holds the frame's atoms that its box does not entail (valid
@@ -93,7 +97,9 @@ func domainsKey(domains map[string]solver.Interval) prefixKey {
 
 func (b *intervalBackend) Push() {
 	top := b.frames[len(b.frames)-1]
-	b.frames = append(b.frames, &ivFrame{key: top.key})
+	f := &ivFrame{key: top.key}
+	f.exprs = f.expr0[:0]
+	b.frames = append(b.frames, f)
 	b.stats.PushedFrames++
 }
 
@@ -108,7 +114,10 @@ func (b *intervalBackend) Pop() {
 func (b *intervalBackend) Assert(c sym.Expr) {
 	top := b.frames[len(b.frames)-1]
 	top.exprs = append(top.exprs, c)
-	top.key = top.key.extend(c.String())
+	// Key on the structural fingerprints — field reads for hash-consed
+	// expressions — instead of rendering the constraint to a string and
+	// hashing the bytes on every assert.
+	top.key = top.key.extendFP(sym.Fingerprints(c))
 	top.box, top.residual, top.res = nil, nil, nil
 	b.stats.Asserts++
 }

@@ -145,8 +145,8 @@ func (o *oracleRunner) reachable(si *symexec.State) bool {
 			o.resetUnExploredSet(m.ID)
 		}
 	}
-	unExplored := keys(o.unExWrite, o.unExCond)
-	explored := keys(o.exWrite, o.exCond)
+	unExplored := keysInto(nil, o.unExWrite, o.unExCond)
+	explored := keysInto(nil, o.exWrite, o.exCond)
 	isReachable := false
 	for _, nj := range unExplored {
 		if !g.Reaches(ni.ID, nj) {

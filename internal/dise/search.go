@@ -57,6 +57,12 @@ type Runner struct {
 	unExWrite map[int]bool
 	stopped   bool
 
+	// unScratch/exScratch back the set snapshots of
+	// affectedLocIsReachable, reused across calls. Safe without locking:
+	// every Pruner hook runs on the committed walk's goroutine.
+	unScratch []int
+	exScratch []int
+
 	summary *symexec.Summary
 
 	// PruneStats counts directed-search-specific events.
@@ -280,9 +286,14 @@ func (r *Runner) affectedLocIsReachable(si *symexec.State) bool {
 	g := r.Engine.Graph
 	ni := si.Node
 	r.checkLoops(ni)
-	// Snapshot the sets (lines 16–17): the reset loop mutates them.
-	unExplored := keys(r.unExWrite, r.unExCond)
-	explored := keys(r.exWrite, r.exCond)
+	// Snapshot the sets (lines 16–17): the reset loop mutates them. The
+	// snapshots reuse the runner's scratch buffers — this check runs for
+	// every generated successor, and a fresh pair of slices per call was
+	// the single largest allocation site of a directed search.
+	r.unScratch = keysInto(r.unScratch[:0], r.unExWrite, r.unExCond)
+	r.exScratch = keysInto(r.exScratch[:0], r.exWrite, r.exCond)
+	unExplored := r.unScratch
+	explored := r.exScratch
 	isReachable := false
 	for _, nj := range unExplored {
 		if !g.Reaches(ni.ID, nj) {
@@ -312,8 +323,7 @@ func (r *Runner) checkLoops(n *cfg.Node) {
 	}
 }
 
-func keys(sets ...map[int]bool) []int {
-	var out []int
+func keysInto(out []int, sets ...map[int]bool) []int {
 	for _, set := range sets {
 		for id := range set {
 			out = append(out, id)

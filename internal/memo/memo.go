@@ -9,9 +9,10 @@
 // witness model), and the feasible successors in execution order — each
 // tagged with the branch arm that produced it and with the arm's
 // path-condition contribution (the branch constraint appended to the path
-// condition, or nil for arms that add no conjunct). Constraints are compared
-// by structural equality over the canonical forms the sym smart
-// constructors build.
+// condition, or nil for arms that add no conjunct). Constraints are
+// hash-consed (internal/sym): the smart constructors canonicalize and
+// intern them, so comparing a recorded constraint against the current run's
+// is a pointer compare, across session steps and engine instances alike.
 //
 // # Soundness
 //
@@ -65,9 +66,10 @@ import "dise/internal/sym"
 // Verdict is one recorded solver decision: under the path condition leading
 // to the trie node, the branch constraint Cond was satisfiable or not, with
 // Model the deterministic witness when Sat. Constraints are matched by
-// structural equality (sym.Equal) — the smart constructors canonicalize
-// expressions, so structural identity is exactly canonical-rendering
-// identity, without the allocation cost of rendering on every comparison.
+// sym.Equal, which on hash-consed expressions is a pointer compare: the
+// smart constructors canonicalize and intern, so a structurally equal
+// constraint built by a later session step is the very same node — no tree
+// walk, no rendering, on any comparison the replay makes.
 type Verdict struct {
 	Cond  sym.Expr
 	Sat   bool
@@ -75,8 +77,9 @@ type Verdict struct {
 }
 
 // eqExpr compares two optional constraint contributions: both absent, or
-// structurally equal (pointer equality fast path first — recorded and
-// current expressions share nodes when the same run built both).
+// structurally equal. Hash-consing makes the pointer check decisive in both
+// directions for interned expressions; sym.Equal's walk only runs for raw
+// literals built by tests.
 func eqExpr(a, b sym.Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil

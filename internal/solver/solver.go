@@ -1,8 +1,8 @@
 package solver
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"dise/internal/sym"
 )
@@ -54,11 +54,29 @@ type Result struct {
 type Solver struct {
 	opts  Options
 	stats Stats
-	// compiled caches the normalized form of constraint expressions.
-	// Symbolic expressions are immutable and shared across the path
-	// conditions of sibling states, so compilation amortizes across the
-	// thousands of Check calls a symbolic execution run makes.
+	// compiled caches the normalized form of constraint expressions, keyed
+	// by node pointer. Symbolic expressions are immutable and hash-consed
+	// (internal/sym), so a constraint re-built anywhere — a sibling state, a
+	// later version of the program, a re-rendered branch condition — is the
+	// same pointer and hits the same cache line; compilation amortizes
+	// across the thousands of Check calls a symbolic execution run makes.
 	compiled map[sym.Expr][]*constraint
+	// propTpl caches, per constraint expression, the name-resolved problem
+	// skeleton PropagateDelta needs — variable indexing, constraint views,
+	// the same-form unsat precheck. The skeleton depends only on the
+	// expression (hash-consed, so pointer-keyed), not on the box it is
+	// propagated against, and the interval backend propagates the same
+	// branch constraints against many boxes as the exploration revisits
+	// sibling subtrees.
+	propTpl map[sym.Expr]*propTemplate
+}
+
+// propTemplate is the reusable, read-only part of a PropagateDelta problem.
+type propTemplate struct {
+	varNames     []string
+	varIdx       map[string]int
+	views        []conView
+	trivialUnsat bool
 }
 
 // New returns a Solver.
@@ -66,7 +84,11 @@ func New(opts Options) *Solver {
 	if opts.NodeBudget == 0 {
 		opts.NodeBudget = 1 << 16
 	}
-	return &Solver{opts: opts, compiled: map[sym.Expr][]*constraint{}}
+	return &Solver{
+		opts:     opts,
+		compiled: map[sym.Expr][]*constraint{},
+		propTpl:  map[sym.Expr]*propTemplate{},
+	}
 }
 
 // Stats returns accumulated counters.
@@ -119,32 +141,22 @@ func (s *Solver) Check(constraints []sym.Expr, domains map[string]Interval) Resu
 // solution set: every assignment satisfying the constraints within base
 // lies in it.
 func (s *Solver) PropagateDelta(constraints []sym.Expr, base map[string]Interval) (delta map[string]Interval, residual []sym.Expr, ok bool) {
-	var compiled []*constraint
-	for _, e := range constraints {
-		compiled = append(compiled, s.compile(e)...)
-	}
-	if len(compiled) == 0 {
-		return nil, nil, true
-	}
-	sub := map[string]Interval{}
-	for _, c := range compiled {
-		for _, n := range c.vars {
-			if _, seen := sub[n]; seen {
-				continue
-			}
-			if d, ok := base[n]; ok {
-				sub[n] = d
-			} else {
-				sub[n] = DefaultDomain
-			}
-		}
-	}
-	p := newProblem(compiled, sub)
-	if p.trivialUnsat {
+	tpl := s.propTemplateFor(constraints)
+	if tpl.trivialUnsat {
 		return nil, nil, false
 	}
-	box := make([]Interval, len(p.domains))
-	copy(box, p.domains)
+	if len(tpl.views) == 0 {
+		return nil, nil, true
+	}
+	box := make([]Interval, len(tpl.varNames))
+	for i, name := range tpl.varNames {
+		if d, ok := base[name]; ok {
+			box[i] = d
+		} else {
+			box[i] = DefaultDomain
+		}
+	}
+	p := problem{varNames: tpl.varNames, varIdx: tpl.varIdx, views: tpl.views, interrupt: s.opts.Interrupt}
 	if !p.propagate(box, &s.stats) {
 		return nil, nil, false
 	}
@@ -153,11 +165,43 @@ func (s *Solver) PropagateDelta(constraints []sym.Expr, base map[string]Interval
 			residual = append(residual, p.views[i].c.expr)
 		}
 	}
-	delta = make(map[string]Interval, len(p.varNames))
-	for i, name := range p.varNames {
+	delta = make(map[string]Interval, len(tpl.varNames))
+	for i, name := range tpl.varNames {
 		delta[name] = box[i]
 	}
 	return delta, residual, true
+}
+
+// propTemplateFor resolves the problem skeleton for a constraint list. The
+// single-expression case — the interval backend propagates one frame's one
+// conjunct — is served from the pointer-keyed template cache; multi-expr
+// lists (rare: concatenated residuals) are built ad hoc.
+func (s *Solver) propTemplateFor(constraints []sym.Expr) *propTemplate {
+	if len(constraints) == 1 {
+		if tpl, ok := s.propTpl[constraints[0]]; ok {
+			return tpl
+		}
+	}
+	var compiled []*constraint
+	for _, e := range constraints {
+		compiled = append(compiled, s.compile(e)...)
+	}
+	var tpl *propTemplate
+	if len(compiled) == 0 {
+		tpl = &propTemplate{}
+	} else {
+		p := newProblem(compiled, nil)
+		tpl = &propTemplate{
+			varNames:     p.varNames,
+			varIdx:       p.varIdx,
+			views:        p.views,
+			trivialUnsat: p.trivialUnsat,
+		}
+	}
+	if len(constraints) == 1 {
+		s.propTpl[constraints[0]] = tpl
+	}
+	return tpl
 }
 
 // conKind classifies compiled constraints.
@@ -377,7 +421,10 @@ func (p *problem) intersectForms() {
 		}
 		key := make([]byte, 0, len(v.terms)*8)
 		for _, t := range v.terms {
-			key = fmt.Appendf(key, "%d:%d;", t.idx, sign*t.coeff)
+			key = strconv.AppendInt(key, int64(t.idx), 10)
+			key = append(key, ':')
+			key = strconv.AppendInt(key, sign*t.coeff, 10)
+			key = append(key, ';')
 		}
 		r, ok := forms[string(key)]
 		if !ok {

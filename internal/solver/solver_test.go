@@ -526,3 +526,68 @@ func TestSaturatingArithmetic(t *testing.T) {
 		t.Error("satMul zero")
 	}
 }
+
+// TestPropagateDeltaTemplateReuse exercises the per-constraint problem
+// skeleton cache behind PropagateDelta: the same constraint propagated
+// against different boxes must tighten each box independently and
+// correctly, with the cached skeleton (second call onward) giving the same
+// answers as the first.
+func TestPropagateDeltaTemplateReuse(t *testing.T) {
+	s := New(Options{})
+	c := sym.Cmp(sym.OpLT, x(), sym.Int(10)) // X < 10
+	boxes := []map[string]Interval{
+		{"X": {0, 100}},
+		{"X": {0, 5}},
+		{"X": {50, 100}},
+		{"X": {0, 100}}, // repeat of the first: must reproduce it exactly
+	}
+	wantHi := []int64{9, 5, 0, 9} // tightened X.Hi; third is a conflict
+	wantOK := []bool{true, true, false, true}
+	for i, base := range boxes {
+		delta, residual, ok := s.PropagateDelta([]sym.Expr{c}, base)
+		if ok != wantOK[i] {
+			t.Fatalf("call %d: ok = %v, want %v", i, ok, wantOK[i])
+		}
+		if !ok {
+			continue
+		}
+		if d := delta["X"]; d.Hi != wantHi[i] || d.Lo != base["X"].Lo {
+			t.Fatalf("call %d: delta X = %+v, want Hi %d", i, d, wantHi[i])
+		}
+		// X < 10 is entailed by every box the propagation produces here, so
+		// nothing is residual.
+		if len(residual) != 0 {
+			t.Fatalf("call %d: residual = %v, want none", i, residual)
+		}
+	}
+	// The skeleton is cached per expression pointer (hash-consed, so the
+	// rebuilt constraint is the same pointer and the same template).
+	if len(s.propTpl) != 1 {
+		t.Fatalf("template cache holds %d entries, want 1", len(s.propTpl))
+	}
+	if _, ok := s.propTpl[sym.Cmp(sym.OpLT, sym.V("X"), sym.Int(10))]; !ok {
+		t.Fatalf("rebuilt constraint missed the template cache")
+	}
+}
+
+// TestPropagateDeltaTrivialCases pins the degenerate paths: no constraints,
+// trivially-true constraints, and a same-form contradiction refuted during
+// template construction without any propagation.
+func TestPropagateDeltaTrivialCases(t *testing.T) {
+	s := New(Options{})
+	if delta, residual, ok := s.PropagateDelta(nil, dom(0, 10)); !ok || delta != nil || residual != nil {
+		t.Fatalf("empty constraint list: got (%v, %v, %v)", delta, residual, ok)
+	}
+	if _, _, ok := s.PropagateDelta([]sym.Expr{sym.True}, dom(0, 10)); !ok {
+		t.Fatalf("trivially-true constraint must propagate ok")
+	}
+	// X - Y == 0 together with X - Y >= 1 in one conjunction: the same-form
+	// intersection inside the template refutes it outright.
+	contradiction := sym.AndE(
+		sym.Cmp(sym.OpEQ, sym.Sub(x(), y()), sym.Zero),
+		sym.Cmp(sym.OpGE, sym.Sub(x(), y()), sym.One),
+	)
+	if _, _, ok := s.PropagateDelta([]sym.Expr{contradiction}, dom(0, 1000)); ok {
+		t.Fatalf("same-form contradiction not refuted")
+	}
+}

@@ -7,14 +7,18 @@
 // input variables" of the paper's §2.1. Path conditions are conjunctions of
 // boolean Exprs.
 //
-// The IR is immutable; Simplify and the builder helpers return shared or
-// fresh nodes and never mutate their arguments, so expressions may be shared
-// freely between symbolic states (states are forked at every branch).
+// The IR is immutable and hash-consed: the smart constructors return
+// canonical nodes from a global intern table (see intern.go), so
+// structurally equal expressions are pointer-identical, expressions may be
+// shared freely between symbolic states (states are forked at every
+// branch), and the hot operations — Equal, Fingerprint, Vars, String — are
+// O(1) reads on canonical nodes.
 package sym
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -103,29 +107,48 @@ func (o Op) Swap() Op {
 type Expr interface {
 	fmt.Stringer
 	exprNode()
+	// header returns the interner header of a canonical node, nil for nodes
+	// built as raw literals. Unexported: the node set is closed.
+	header() *hdr
 }
 
 // IntConst is an integer constant.
-type IntConst struct{ V int64 }
+type IntConst struct {
+	V int64
+	h *hdr
+}
 
 // BoolConst is a boolean constant.
-type BoolConst struct{ V bool }
+type BoolConst struct {
+	V bool
+	h *hdr
+}
 
 // Var is a symbolic variable (a procedure input in the paper's setting,
 // e.g. X for parameter x).
-type Var struct{ Name string }
+type Var struct {
+	Name string
+	h    *hdr
+}
 
 // Bin is a binary operation.
 type Bin struct {
 	Op   Op
 	L, R Expr
+	h    *hdr
 }
 
 // Not is logical negation.
-type Not struct{ X Expr }
+type Not struct {
+	X Expr
+	h *hdr
+}
 
 // Neg is arithmetic negation.
-type Neg struct{ X Expr }
+type Neg struct {
+	X Expr
+	h *hdr
+}
 
 func (*IntConst) exprNode()  {}
 func (*BoolConst) exprNode() {}
@@ -134,26 +157,23 @@ func (*Bin) exprNode()       {}
 func (*Not) exprNode()       {}
 func (*Neg) exprNode()       {}
 
-// Shared constants.
+// Shared canonical constants.
 var (
-	True  = &BoolConst{V: true}
-	False = &BoolConst{V: false}
-	Zero  = &IntConst{V: 0}
-	One   = &IntConst{V: 1}
+	True  = internBool(true)
+	False = internBool(false)
+	Zero  = internInt(0)
+	One   = internInt(1)
 )
 
-// Int returns an integer constant expression.
+// Int returns the canonical integer constant expression.
 func Int(v int64) *IntConst {
-	switch v {
-	case 0:
-		return Zero
-	case 1:
-		return One
+	if v >= smallIntLo && v < smallIntHi {
+		return smallInt[v-smallIntLo]
 	}
-	return &IntConst{V: v}
+	return internInt(v)
 }
 
-// Bool returns a boolean constant expression.
+// Bool returns the canonical boolean constant expression.
 func Bool(v bool) *BoolConst {
 	if v {
 		return True
@@ -161,22 +181,65 @@ func Bool(v bool) *BoolConst {
 	return False
 }
 
-// V returns a symbolic variable.
-func V(name string) *Var { return &Var{Name: name} }
+// V returns the canonical symbolic variable.
+func V(name string) *Var { return internVar(name) }
 
-func (e *IntConst) String() string { return fmt.Sprintf("%d", e.V) }
+// memoLoad returns the header's memoized rendering, if any. memoStore
+// publishes a fresh rendering (a benign race: concurrent first renders
+// store the same value) and returns it. Plain functions rather than one
+// closure-taking helper so the memoized fast path stays allocation-free.
+func memoLoad(h *hdr) (string, bool) {
+	if h != nil {
+		if s := h.str.Load(); s != nil {
+			return *s, true
+		}
+	}
+	return "", false
+}
+
+func memoStore(h *hdr, s string) string {
+	if h != nil {
+		h.str.Store(&s)
+	}
+	return s
+}
+
+func (e *IntConst) String() string {
+	if s, ok := memoLoad(e.h); ok {
+		return s
+	}
+	return memoStore(e.h, strconv.FormatInt(e.V, 10))
+}
+
 func (e *BoolConst) String() string {
 	if e.V {
 		return "TRUE"
 	}
 	return "FALSE"
 }
+
 func (e *Var) String() string { return e.Name }
+
 func (e *Bin) String() string {
-	return wrap(e.L) + " " + e.Op.String() + " " + wrap(e.R)
+	if s, ok := memoLoad(e.h); ok {
+		return s
+	}
+	return memoStore(e.h, wrap(e.L)+" "+e.Op.String()+" "+wrap(e.R))
 }
-func (e *Not) String() string { return "!" + wrap(e.X) }
-func (e *Neg) String() string { return "-" + wrap(e.X) }
+
+func (e *Not) String() string {
+	if s, ok := memoLoad(e.h); ok {
+		return s
+	}
+	return memoStore(e.h, "!"+wrap(e.X))
+}
+
+func (e *Neg) String() string {
+	if s, ok := memoLoad(e.h); ok {
+		return s
+	}
+	return memoStore(e.h, "-"+wrap(e.X))
+}
 
 func wrap(e Expr) string {
 	switch e.(type) {
@@ -187,8 +250,19 @@ func wrap(e Expr) string {
 	}
 }
 
-// Equal reports structural equality of two expressions.
+// Equal reports structural equality of two expressions. For canonical
+// (interned) nodes this is a header compare: the intern table guarantees
+// one header per structure, so two nodes are structurally equal exactly
+// when they share one — which also makes a by-value copy of a canonical
+// node compare equal to its original. The recursive walk remains as the
+// fallback for nodes built as raw literals (test code).
 func Equal(a, b Expr) bool {
+	if a == b {
+		return true
+	}
+	if ha, hb := headerOf(a), headerOf(b); ha != nil && hb != nil {
+		return ha == hb
+	}
 	switch a := a.(type) {
 	case *IntConst:
 		b, ok := b.(*IntConst)
@@ -230,7 +304,12 @@ func Walk(e Expr, fn func(Expr)) {
 }
 
 // Vars returns the sorted list of symbolic variable names occurring in e.
+// For canonical nodes it returns the interner's cached slice, which is
+// shared — callers must not mutate it.
 func Vars(e Expr) []string {
+	if h := headerOf(e); h != nil {
+		return h.vars
+	}
 	set := map[string]bool{}
 	Walk(e, func(x Expr) {
 		if v, ok := x.(*Var); ok {
@@ -249,6 +328,12 @@ func Vars(e Expr) []string {
 func VarsAll(exprs []Expr) []string {
 	set := map[string]bool{}
 	for _, e := range exprs {
+		if h := headerOf(e); h != nil {
+			for _, name := range h.vars {
+				set[name] = true
+			}
+			continue
+		}
 		Walk(e, func(x Expr) {
 			if v, ok := x.(*Var); ok {
 				set[v.Name] = true
@@ -266,12 +351,23 @@ func VarsAll(exprs []Expr) []string {
 // Conjoin renders a conjunction of constraints the way SPF prints path
 // conditions: "c1 && c2 && ...". An empty conjunction renders as "true".
 func Conjoin(cs []Expr) string {
-	if len(cs) == 0 {
+	switch len(cs) {
+	case 0:
 		return "true"
+	case 1:
+		return cs[0].String()
 	}
-	parts := make([]string, len(cs))
+	var b strings.Builder
+	n := 0
+	for _, c := range cs {
+		n += len(c.String()) + 4 // rendering is memoized; sizing pass is cheap
+	}
+	b.Grow(n)
 	for i, c := range cs {
-		parts[i] = c.String()
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(c.String())
 	}
-	return strings.Join(parts, " && ")
+	return b.String()
 }

@@ -1,0 +1,249 @@
+package sym
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randInternExpr generates a random expression tree in the style of
+// internal/randprog's program generator: random operators, variables drawn
+// from a small pool, and constants from a small range, with the shape
+// controlled by a depth budget. bool selects boolean-typed expressions
+// (comparisons, conjunctions, negations) vs integer-typed ones.
+func randInternExpr(rng *rand.Rand, depth int, boolean bool) Expr {
+	vars := []string{"X", "Y", "Z", "PedalPos"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if boolean {
+			if rng.Intn(8) == 0 {
+				return Bool(rng.Intn(2) == 0)
+			}
+			op := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}[rng.Intn(6)]
+			return Cmp(op, randInternExpr(rng, 0, false), randInternExpr(rng, 0, false))
+		}
+		if rng.Intn(2) == 0 {
+			return V(vars[rng.Intn(len(vars))])
+		}
+		return Int(int64(rng.Intn(7) - 3))
+	}
+	if boolean {
+		switch rng.Intn(4) {
+		case 0:
+			return AndE(randInternExpr(rng, depth-1, true), randInternExpr(rng, depth-1, true))
+		case 1:
+			return OrE(randInternExpr(rng, depth-1, true), randInternExpr(rng, depth-1, true))
+		case 2:
+			return NotE(randInternExpr(rng, depth-1, true))
+		default:
+			op := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}[rng.Intn(6)]
+			return Cmp(op, randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Add(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	case 1:
+		return Sub(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	case 2:
+		return Mul(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	case 3:
+		return Div(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	case 4:
+		return Mod(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	default:
+		return NegE(randInternExpr(rng, depth-1, false))
+	}
+}
+
+// rawCopy rebuilds e as raw (un-interned) composite literals, the way test
+// code outside this package constructs expressions by hand.
+func rawCopy(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntConst:
+		return &IntConst{V: e.V}
+	case *BoolConst:
+		return &BoolConst{V: e.V}
+	case *Var:
+		return &Var{Name: e.Name}
+	case *Bin:
+		return &Bin{Op: e.Op, L: rawCopy(e.L), R: rawCopy(e.R)}
+	case *Not:
+		return &Not{X: rawCopy(e.X)}
+	case *Neg:
+		return &Neg{X: rawCopy(e.X)}
+	}
+	panic("rawCopy: unknown node")
+}
+
+// TestInternCanonical is the canonicalization property: over randomly
+// generated expression pairs, Intern(a) == Intern(b) exactly when
+// Equal(a, b) holds — interning identifies precisely the structurally equal
+// trees, nothing more, nothing less.
+func TestInternCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		boolean := rng.Intn(2) == 0
+		a := randInternExpr(rng, 3, boolean)
+		var b Expr
+		if rng.Intn(2) == 0 {
+			// Force the equal case half the time: a raw structural copy
+			// must intern back to the same canonical node.
+			b = rawCopy(a)
+		} else {
+			b = randInternExpr(rng, 3, boolean)
+		}
+		ia, ib := Intern(a), Intern(b)
+		if got, want := ia == ib, Equal(a, b); got != want {
+			t.Fatalf("Intern(%s) == Intern(%s) is %v, Equal is %v", a, b, got, want)
+		}
+		// Interning preserves structure and rendering exactly.
+		if !Equal(a, ia) || a.String() != ia.String() {
+			t.Fatalf("Intern changed %s into %s", a, ia)
+		}
+		// Both fingerprint halves agree between the interned node's cached
+		// values and the structural computation on the raw tree.
+		a1, a2 := Fingerprints(a)
+		i1, i2 := Fingerprints(ia)
+		if a1 != i1 || a2 != i2 {
+			t.Fatalf("fingerprints of %s differ raw vs interned", a)
+		}
+		if got, want := Fingerprint(a) == Fingerprint(b), Equal(a, b); got != want && want {
+			t.Fatalf("equal expressions %s and %s with different fingerprints", a, b)
+		}
+	}
+}
+
+// TestInternIdempotent pins the constructor contract: expressions built via
+// smart constructors are already canonical, so Intern is the identity on
+// them, and rebuilding the same expression yields the same pointer.
+func TestInternIdempotent(t *testing.T) {
+	build := func() Expr {
+		return Cmp(OpLT, Add(V("X"), Int(1)), Mul(V("Y"), Int(3)))
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("rebuilding the same expression gave distinct nodes: %p vs %p", a, b)
+	}
+	if Intern(a) != a {
+		t.Fatalf("Intern is not the identity on a constructor-built node")
+	}
+	if !Interned(a) {
+		t.Fatalf("constructor-built node not marked interned")
+	}
+	if Interned(&Bin{Op: OpAdd, L: Zero, R: One}) {
+		t.Fatalf("raw literal reported as interned")
+	}
+}
+
+// TestInternVarsShared verifies the cached Vars of canonical nodes.
+func TestInternVarsShared(t *testing.T) {
+	e := Add(Mul(V("Y"), V("X")), V("X"))
+	want := []string{"X", "Y"}
+	got := Vars(e)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	// The raw structural walk agrees.
+	raw := Vars(rawCopy(e))
+	if len(raw) != len(want) || raw[0] != want[0] || raw[1] != want[1] {
+		t.Fatalf("raw Vars = %v, want %v", raw, want)
+	}
+}
+
+// TestInternTableStress hammers the shared intern table from N goroutines
+// building overlapping expression sets — run under -race in CI, it checks
+// that concurrent interning is safe and still canonical: every goroutine
+// must get the identical pointer for the identical structure.
+func TestInternTableStress(t *testing.T) {
+	const workers = 8
+	const rounds = 400
+	results := make([][]Expr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker uses the same seed, hence builds the same
+			// expression sequence — maximal contention on the same shards.
+			rng := rand.New(rand.NewSource(99))
+			out := make([]Expr, 0, rounds)
+			for i := 0; i < rounds; i++ {
+				e := randInternExpr(rng, 4, i%2 == 0)
+				out = append(out, Intern(e))
+				_ = e.String() // race the lazy rendering memo too
+				_ = Vars(e)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(results[w]) != len(results[0]) {
+			t.Fatalf("worker %d produced %d nodes, want %d", w, len(results[w]), len(results[0]))
+		}
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d node %d: %s not canonical with worker 0's %s",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// BenchmarkInternBuild measures rebuilding an already-interned expression —
+// the engine's steady state, where every constructor call is a table hit.
+func BenchmarkInternBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Cmp(OpLT, Add(V("X"), Int(1)), Mul(V("Y"), Int(3)))
+	}
+}
+
+// BenchmarkEqualInterned measures Equal on two large equal canonical trees:
+// a pointer compare, regardless of depth.
+func BenchmarkEqualInterned(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	e := Intern(randInternExpr(rng, 8, true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Equal(e, e) {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// BenchmarkFingerprintInterned measures Fingerprint on a canonical node: a
+// header field read.
+func BenchmarkFingerprintInterned(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	e := Intern(randInternExpr(rng, 8, true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Fingerprint(e)
+	}
+	_ = sink
+}
+
+// TestInternValueCopy pins the by-value-copy semantics: a copied canonical
+// node shares its header, so Equal treats it as equal to the original and
+// Intern canonicalizes it back to the table's pointer.
+func TestInternValueCopy(t *testing.T) {
+	orig := Cmp(OpGE, V("X"), Int(7))
+	cp := *orig.(*Bin)
+	if !Equal(&cp, orig) {
+		t.Fatalf("value copy compares unequal to its original")
+	}
+	if Intern(&cp) != orig {
+		t.Fatalf("Intern did not canonicalize the value copy back to the original")
+	}
+	c2 := *Int(5)
+	if Equal(&c2, Int(6)) {
+		t.Fatalf("copy equal to a different constant")
+	}
+	if !Equal(&c2, Int(5)) {
+		t.Fatalf("copied IntConst unequal to its original")
+	}
+}

@@ -4,6 +4,9 @@ package sym
 // builds expressions at every assignment and branch; folding constants and
 // trivial identities keeps path conditions small, mirrors what SPF's
 // expression factory does, and gives the constraint solver simpler input.
+// Every constructor returns a canonical node from the intern table
+// (intern.go), so the expressions the engine builds are comparable by
+// pointer.
 
 // Add returns l + r simplified.
 func Add(l, r Expr) Expr {
@@ -32,7 +35,7 @@ func Add(l, r Expr) Expr {
 			}
 		}
 	}
-	return &Bin{Op: OpAdd, L: l, R: r}
+	return newBin(OpAdd, l, r)
 }
 
 // Sub returns l - r simplified.
@@ -63,7 +66,7 @@ func Sub(l, r Expr) Expr {
 			}
 		}
 	}
-	return &Bin{Op: OpSub, L: l, R: r}
+	return newBin(OpSub, l, r)
 }
 
 // Mul returns l * r simplified.
@@ -87,7 +90,7 @@ func Mul(l, r Expr) Expr {
 			return l
 		}
 	}
-	return &Bin{Op: OpMul, L: l, R: r}
+	return newBin(OpMul, l, r)
 }
 
 // Div returns l / r simplified (truncating integer division; division by the
@@ -107,7 +110,7 @@ func Div(l, r Expr) Expr {
 			return Zero
 		}
 	}
-	return &Bin{Op: OpDiv, L: l, R: r}
+	return newBin(OpDiv, l, r)
 }
 
 // Mod returns l % r simplified.
@@ -120,7 +123,7 @@ func Mod(l, r Expr) Expr {
 			return Zero
 		}
 	}
-	return &Bin{Op: OpMod, L: l, R: r}
+	return newBin(OpMod, l, r)
 }
 
 // NegE returns -x simplified.
@@ -131,7 +134,7 @@ func NegE(x Expr) Expr {
 	case *Neg:
 		return x.X
 	}
-	return &Neg{X: x}
+	return newNeg(x)
 }
 
 // Cmp returns (l op r) simplified, for comparison operators.
@@ -171,7 +174,7 @@ func Cmp(op Op, l, r Expr) Expr {
 	if isConstExpr(l) && !isConstExpr(r) {
 		op, l, r = op.Swap(), r, l
 	}
-	return &Bin{Op: op, L: l, R: r}
+	return newBin(op, l, r)
 }
 
 // isConstExpr reports a literal constant operand.
@@ -215,7 +218,7 @@ func AndE(l, r Expr) Expr {
 		}
 		return l
 	}
-	return &Bin{Op: OpAnd, L: l, R: r}
+	return newBin(OpAnd, l, r)
 }
 
 // OrE returns l || r simplified.
@@ -232,7 +235,7 @@ func OrE(l, r Expr) Expr {
 		}
 		return l
 	}
-	return &Bin{Op: OpOr, L: l, R: r}
+	return newBin(OpOr, l, r)
 }
 
 // NotE returns !x simplified: constants fold, double negation cancels, and
@@ -255,7 +258,7 @@ func NotE(x Expr) Expr {
 			return AndE(NotE(x.L), NotE(x.R))
 		}
 	}
-	return &Not{X: x}
+	return newNot(x)
 }
 
 // Subst returns e with every variable replaced per env; variables absent

@@ -156,6 +156,10 @@ type Engine struct {
 	// stack mirrors the constraints currently asserted on the Backend, one
 	// frame per path-condition conjunct.
 	stack []sym.Expr
+	// pcScratch is the reusable buffer syncPC materializes a state's
+	// path-condition list into; it keeps stack syncing allocation-free in
+	// steady state.
+	pcScratch []sym.Expr
 }
 
 // New type-checks the program, builds the CFG of procedure procName, and
@@ -410,11 +414,20 @@ func (e *Engine) syncStack(pc []sym.Expr) {
 	}
 }
 
-// sameExpr compares path-condition conjuncts. Pointer equality covers the
-// common case (forked states share the expression nodes of their common
-// prefix); structural equality catches re-built conditions.
+// sameExpr compares path-condition conjuncts. Expressions built by the
+// smart constructors are hash-consed, so pointer equality decides both ways
+// for them; sym.Equal's structural walk only ever runs for un-interned
+// literals from test code.
 func sameExpr(a, b sym.Expr) bool {
 	return a == b || sym.Equal(a, b)
+}
+
+// syncPC aligns the backend's assertion stack with the path condition of s,
+// materializing the prefix-shared list into the engine's scratch buffer
+// (no allocation in steady state).
+func (e *Engine) syncPC(s *State) {
+	e.pcScratch = s.PC.AppendTo(e.pcScratch[:0])
+	e.syncStack(e.pcScratch)
 }
 
 // checkBranch decides PC ∧ c where PC is the currently synced stack, using
@@ -439,22 +452,23 @@ func (e *Engine) CheckPC(pc []sym.Expr) constraint.Result {
 // InitialState builds the state at the begin node: parameters and (by
 // default) globals bound to fresh symbolic values, path condition true.
 func (e *Engine) InitialState() *State {
-	env := map[string]sym.Expr{}
+	m := map[string]sym.Expr{}
 	for _, p := range e.Proc.Params {
-		env[p.Name] = sym.V(symbolName(p.Name))
+		m[p.Name] = sym.V(symbolName(p.Name))
 	}
 	for _, gl := range e.Prog.Globals {
 		if e.config.ConcreteGlobals {
 			switch init := gl.Init.(type) {
 			case *ast.IntLit:
-				env[gl.Name] = sym.Int(init.Value)
+				m[gl.Name] = sym.Int(init.Value)
 			case *ast.BoolLit:
-				env[gl.Name] = sym.Bool(init.Value)
+				m[gl.Name] = sym.Bool(init.Value)
 			}
 		} else {
-			env[gl.Name] = sym.V(symbolName(gl.Name))
+			m[gl.Name] = sym.V(symbolName(gl.Name))
 		}
 	}
+	env := NewEnv(m)
 	// Locals start undefined; the type checker guarantees they are assigned
 	// before use on every executable path of well-formed artifacts.
 	e.stats.StatesExplored++
@@ -533,7 +547,7 @@ func (e *Engine) Step(s *State) Step {
 		a := n.Stmt.(*ast.Assign)
 		val := e.evalExpr(a.Value, s.Env)
 		succ := s.fork(n.Succs[0].To)
-		succ.Env[a.Name] = val
+		succ.Env = succ.Env.Set(a.Name, val)
 		succ.appendTraceIfStmt(n)
 		out.Feasible = append(out.Feasible, succ)
 		if rec != nil {
@@ -608,7 +622,7 @@ func (e *Engine) Step(s *State) Step {
 					// search descends into it; the backend's prefix machinery
 					// makes that re-push recall this verdict instead of
 					// re-solving.
-					e.syncStack(s.PC)
+					e.syncPC(s)
 					res := e.checkBranch(branch.c)
 					if rec != nil && !res.Unknown {
 						// Unknown is budget- and interrupt-dependent; only
@@ -623,7 +637,7 @@ func (e *Engine) Step(s *State) Step {
 					model = res.Model
 				}
 				succ := s.fork(branch.to)
-				succ.PC = append(succ.PC, branch.c)
+				succ.PC = succ.PC.Append(branch.c)
 				succ.model = model
 				succ.appendTraceIfStmt(n)
 				if branch.to.Kind == cfg.KindError {
@@ -696,11 +710,16 @@ func (e *Engine) memoLink(rec *memo.Node, feasible []*State, vias []int8, viaCon
 }
 
 // appendTraceIfStmt records the executed node in the successor's trace when
-// it corresponds to a source statement.
+// it corresponds to a source statement. The successor shares the parent's
+// trace slice after fork, so the append always copies — sized exactly, with
+// no spare capacity a sibling could race on.
 func (s *State) appendTraceIfStmt(n *cfg.Node) {
 	switch n.Kind {
 	case cfg.KindCond, cfg.KindWrite, cfg.KindNop:
-		s.Trace = append(s.Trace, n.ID)
+		t := make([]int, len(s.Trace)+1)
+		copy(t, s.Trace)
+		t[len(s.Trace)] = n.ID
+		s.Trace = t
 	}
 }
 
@@ -709,13 +728,16 @@ func (e *Engine) Terminal(s *State) bool {
 	return s.Node.Kind == cfg.KindEnd || s.Node.Kind == cfg.KindError
 }
 
-// Collect converts a terminal state into a Path record.
+// Collect converts a terminal state into a Path record, materializing the
+// copy-on-write path condition and environment — this is the one place the
+// shared-tail PC list and the layered Env become plain slices and maps.
 func (e *Engine) Collect(s *State) Path {
 	e.stats.PathsExplored++
+	pc := s.PC.Slice()
 	return Path{
-		PC:       s.PC,
-		PCString: sym.Conjoin(s.PC),
-		Env:      s.Env,
+		PC:       pc,
+		PCString: sym.Conjoin(pc),
+		Env:      s.Env.Map(),
 		Trace:    s.Trace,
 		Err:      s.Err || s.Node.Kind == cfg.KindError,
 	}
@@ -738,14 +760,14 @@ func (e *Engine) RunFull() *Summary {
 
 // evalExpr maps an AST expression to a symbolic expression under env, using
 // the smart constructors so constants fold as execution proceeds.
-func (e *Engine) evalExpr(x ast.Expr, env map[string]sym.Expr) sym.Expr {
+func (e *Engine) evalExpr(x ast.Expr, env Env) sym.Expr {
 	switch x := x.(type) {
 	case *ast.IntLit:
 		return sym.Int(x.Value)
 	case *ast.BoolLit:
 		return sym.Bool(x.Value)
 	case *ast.Ident:
-		if v, ok := env[x.Name]; ok {
+		if v, ok := env.Get(x.Name); ok {
 			return v
 		}
 		// Reading an unassigned local: treat as a fresh symbol so execution

@@ -11,11 +11,17 @@
 // the full ("traditional") symbolic execution used as the control in the
 // paper's evaluation (§4.2.2). The directed search of DiSE plugs into the
 // same scheduler as a Pruner (see internal/dise).
+//
+// States are copy-on-write: forking a state at a branch shares the parent's
+// environment, path condition and trace outright — Env layers are immutable
+// sorted slices replaced only on write, the path condition is a shared-tail
+// list extended by one cell per branch and materialized only when a path is
+// emitted — so the engine's inner loop allocates per *change*, not per fork.
 package symexec
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dise/internal/cfg"
@@ -23,20 +29,165 @@ import (
 	"dise/internal/sym"
 )
 
+// Env is a persistent symbolic environment: an immutable, name-sorted slice
+// of variable bindings. The zero value is the empty environment. Set returns
+// a new environment sharing nothing mutable with the receiver, so forked
+// states share one Env value (a slice header copy) and pay for a write
+// exactly when they write — one exact-size slice allocation — instead of
+// deep-copying a map on every fork.
+type Env struct {
+	entries []envEntry // sorted by name; immutable once published
+}
+
+type envEntry struct {
+	name string
+	val  sym.Expr
+}
+
+// search returns the index of name, or the insertion point with found=false.
+func (e Env) search(name string) (int, bool) {
+	lo, hi := 0, len(e.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.entries[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(e.entries) && e.entries[lo].name == name
+}
+
+// Get returns the symbolic expression bound to name.
+func (e Env) Get(name string) (sym.Expr, bool) {
+	i, ok := e.search(name)
+	if !ok {
+		return nil, false
+	}
+	return e.entries[i].val, true
+}
+
+// Set returns a new environment with name bound to val. The receiver is
+// unchanged; unrelated bindings are shared by value (the entries hold
+// interned, immutable expressions).
+func (e Env) Set(name string, val sym.Expr) Env {
+	i, ok := e.search(name)
+	if ok {
+		if e.entries[i].val == val {
+			return e // no-op write: share the whole environment
+		}
+		entries := make([]envEntry, len(e.entries))
+		copy(entries, e.entries)
+		entries[i].val = val
+		return Env{entries: entries}
+	}
+	entries := make([]envEntry, len(e.entries)+1)
+	copy(entries, e.entries[:i])
+	entries[i] = envEntry{name: name, val: val}
+	copy(entries[i+1:], e.entries[i:])
+	return Env{entries: entries}
+}
+
+// Len returns the number of bindings.
+func (e Env) Len() int { return len(e.entries) }
+
+// Map materializes the environment as a map, for path emission and external
+// consumers (Path.Env).
+func (e Env) Map() map[string]sym.Expr {
+	out := make(map[string]sym.Expr, len(e.entries))
+	for _, ent := range e.entries {
+		out[ent.name] = ent.val
+	}
+	return out
+}
+
+// Each calls fn for every binding in name order.
+func (e Env) Each(fn func(name string, val sym.Expr)) {
+	for _, ent := range e.entries {
+		fn(ent.name, ent.val)
+	}
+}
+
+// NewEnv builds an environment from a map (order-independent; entries are
+// sorted).
+func NewEnv(m map[string]sym.Expr) Env {
+	entries := make([]envEntry, 0, len(m))
+	for name, val := range m {
+		entries = append(entries, envEntry{name: name, val: val})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	return Env{entries: entries}
+}
+
+// PathCond is a persistent path condition: a singly linked list growing at
+// the tail end, so sibling branches share their common prefix as one chain
+// and appending a branch constraint is a single small allocation. nil is the
+// empty ("true") path condition. The conjunct order (root first) is
+// recovered by Slice/AppendTo when a path is emitted or the solver stack is
+// synced.
+type PathCond struct {
+	parent *PathCond
+	c      sym.Expr
+	n      int // conjunct count including c
+}
+
+// Len returns the number of conjuncts.
+func (p *PathCond) Len() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Append returns the path condition extended by one conjunct. The receiver
+// is shared, not copied.
+func (p *PathCond) Append(c sym.Expr) *PathCond {
+	return &PathCond{parent: p, c: c, n: p.Len() + 1}
+}
+
+// AppendTo materializes the conjuncts in path order (root first) into buf,
+// reusing its backing array when it is large enough — the engine's stack
+// sync runs on a scratch buffer and allocates nothing in steady state.
+func (p *PathCond) AppendTo(buf []sym.Expr) []sym.Expr {
+	n := p.Len()
+	base := len(buf)
+	if cap(buf) < base+n {
+		grown := make([]sym.Expr, base, base+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:base+n]
+	for q := p; q != nil; q = q.parent {
+		n--
+		buf[base+n] = q.c
+	}
+	return buf
+}
+
+// Slice materializes the conjuncts in path order as a fresh slice.
+func (p *PathCond) Slice() []sym.Expr {
+	if p == nil {
+		return nil
+	}
+	return p.AppendTo(make([]sym.Expr, 0, p.n))
+}
+
 // State is a symbolic program state: a program location (CFG node), symbolic
 // expressions for the program variables, and a path condition (paper §2.1).
 type State struct {
 	// Node is the next CFG node to execute.
 	Node *cfg.Node
 	// Env maps every program variable to its current symbolic expression.
-	Env map[string]sym.Expr
+	// It is copy-on-write: forked states share it until one of them writes.
+	Env Env
 	// PC is the path condition: the conjunction of branch constraints
-	// accumulated along the path to this state.
-	PC []sym.Expr
+	// accumulated along the path to this state, as a prefix-sharing list.
+	PC *PathCond
 	// Depth is the number of CFG nodes executed before reaching this state.
 	Depth int
 	// Trace is the sequence of statement-node IDs executed so far. Traces
 	// power the affected-node-sequence analysis and the Table 1 rendering.
+	// Forked states share the parent's slice; appends copy (exact size).
 	Trace []int
 	// Err marks a state that reached the assertion-failure sink.
 	Err bool
@@ -61,23 +212,17 @@ func (s *State) MarkMemoPruned() {
 	}
 }
 
-// fork returns a copy of s with fresh Env/PC/Trace backing so that sibling
-// branches do not interfere.
+// fork returns a successor of s at node. Everything is shared with the
+// parent: Env and PC are copy-on-write (the caller extends them only for
+// writes and branch constraints), Trace is copied at the append site
+// (appendTraceIfStmt), and the witness model is immutable.
 func (s *State) fork(node *cfg.Node) *State {
-	env := make(map[string]sym.Expr, len(s.Env))
-	for k, v := range s.Env {
-		env[k] = v
-	}
-	pc := make([]sym.Expr, len(s.PC), len(s.PC)+1)
-	copy(pc, s.PC)
-	trace := make([]int, len(s.Trace), len(s.Trace)+1)
-	copy(trace, s.Trace)
 	return &State{
 		Node:  node,
-		Env:   env,
-		PC:    pc,
+		Env:   s.Env,
+		PC:    s.PC,
 		Depth: s.Depth + 1,
-		Trace: trace,
+		Trace: s.Trace,
 		Err:   s.Err,
 		model: s.model,
 	}
@@ -85,24 +230,26 @@ func (s *State) fork(node *cfg.Node) *State {
 
 // EnvString renders the environment deterministically: "x: X, y: Y + X".
 func (s *State) EnvString() string {
-	names := make([]string, 0, len(s.Env))
-	for n := range s.Env {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	parts := make([]string, len(names))
-	for i, n := range names {
-		parts[i] = fmt.Sprintf("%s: %s", n, s.Env[n])
-	}
-	return strings.Join(parts, ", ")
+	var b strings.Builder
+	first := true
+	s.Env.Each(func(name string, val sym.Expr) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteString(": ")
+		b.WriteString(val.String())
+	})
+	return b.String()
 }
 
 // PCString renders the path condition like the paper: "PC: true" when empty.
-func (s *State) PCString() string { return sym.Conjoin(s.PC) }
+func (s *State) PCString() string { return sym.Conjoin(s.PC.Slice()) }
 
 // String renders "Loc: n3 | x: X | PC: X > 0".
 func (s *State) String() string {
-	return fmt.Sprintf("Loc: n%d | %s | PC: %s", s.Node.ID, s.EnvString(), s.PCString())
+	return "Loc: n" + strconv.Itoa(s.Node.ID) + " | " + s.EnvString() + " | PC: " + s.PCString()
 }
 
 // Path is one complete execution path produced by symbolic execution.
