@@ -108,6 +108,7 @@ func (pc *programCache) get(src string) (*cachedProgram, error) {
 		return el.Value.(*cacheSlot).prog, nil
 	}
 	pc.entries[key] = pc.lru.PushFront(&cacheSlot{key: key, prog: entry})
+	//diselint:ignore interruptloop bounded: each iteration evicts one LRU entry
 	for pc.capacity > 0 && pc.lru.Len() > pc.capacity {
 		oldest := pc.lru.Back()
 		pc.lru.Remove(oldest)

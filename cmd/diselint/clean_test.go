@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"dise/internal/analysis"
+	"dise/internal/analysis/passes"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the enclosing module and
+// requires zero diagnostics: every invariant violation must be either fixed
+// or carry an audited //diselint:ignore with a reason. This makes the plain
+// test suite — not just the CI lint step — enforce the invariants.
+func TestRepoIsClean(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadModule returned no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, passes.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", d.Position, d.Rule, d.Message)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Command diselint is the project's static-analysis driver: a
+// multichecker over the custom passes of internal/analysis/passes, each of
+// which encodes one invariant the engine's byte-identical equivalence
+// gates rest on (canonical-only sym expressions, never-cached Unknown
+// verdicts, sorted map emissions, interrupt checks in unbounded loops,
+// fingerprint-pair cache keys, no locks held across solver checks).
+//
+// Usage:
+//
+//	diselint [-list] [packages]
+//
+// With no arguments it analyzes every package of the enclosing module,
+// test files included (the ./... of a vettool run). Any diagnostic makes
+// the exit status 1, so the CI step `go run ./cmd/diselint ./...` fails
+// the build on an invariant violation. Suppress a finding with an audited
+// comment on or above the line:
+//
+//	//diselint:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dise/internal/analysis"
+	"dise/internal/analysis/passes"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		keep := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			keep[strings.TrimSpace(r)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			var unknown []string
+			for r := range keep {
+				unknown = append(unknown, r)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "diselint: unknown rule(s): %s (try -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		suite = sel
+	}
+
+	// Arguments beyond ./... are accepted for interactive use but the
+	// loader always resolves whole packages of the enclosing module.
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diselint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diselint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs = filterPkgs(pkgs, flag.Args())
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diselint: %s: %v\n", pkg.PkgPath, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Printf("%s: [%s] %s\n", d.Position, d.Rule, d.Message)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// filterPkgs narrows to the requested patterns: "./..." (or no argument)
+// keeps everything; "./internal/..." style prefixes and exact package
+// paths keep their subtrees.
+func filterPkgs(pkgs []*analysis.Package, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keepAll := false
+	var prefixes, exact []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			keepAll = true
+		case strings.HasSuffix(p, "/..."):
+			prefixes = append(prefixes, strings.TrimSuffix(strings.TrimPrefix(p, "./"), "/..."))
+		default:
+			exact = append(exact, strings.TrimPrefix(p, "./"))
+		}
+	}
+	if keepAll {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		// PkgPath is module-qualified ("dise/internal/sym"); patterns are
+		// usually module-relative ("./internal/..."), so match both forms.
+		rel := pkg.PkgPath
+		if i := strings.Index(rel, "/"); i >= 0 {
+			rel = rel[i+1:]
+		}
+		keep := false
+		for _, pre := range prefixes {
+			if rel == pre || strings.HasPrefix(rel, pre+"/") ||
+				pkg.PkgPath == pre || strings.HasPrefix(pkg.PkgPath, pre+"/") {
+				keep = true
+			}
+		}
+		for _, ex := range exact {
+			if rel == ex || pkg.PkgPath == ex {
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}

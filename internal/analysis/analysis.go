@@ -1,0 +1,247 @@
+// Package analysis is a self-contained, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API surface that diselint's checkers are
+// written against.
+//
+// The real x/tools module is deliberately not a dependency: this repository
+// builds offline with nothing beyond the Go toolchain, so the framework
+// (Analyzer/Pass/Diagnostic, a package loader, an analysistest-style
+// harness, and the cmd/diselint multichecker driver) is reproduced here on
+// top of go/ast, go/parser and go/types. The shapes match x/tools closely
+// enough that a checker ports to a real vettool with mechanical edits
+// should the dependency ever become available.
+//
+// # Suppressions
+//
+// Every rule supports an explicit, audited escape hatch: a comment of the
+// form
+//
+//	//diselint:ignore <rule> <reason>
+//
+// on the flagged line or on the line directly above it silences that rule
+// for that line. The reason is mandatory — a suppression without one is
+// itself reported — because each suppression documents why an invariant
+// the linter cannot prove (a loop bound, a deliberate raw literal in a
+// fallback-path test) holds anyway.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a named rule enforcing one project
+// invariant.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and suppression comments.
+	Name string
+	// Doc states the invariant the rule enforces (first line: summary).
+	Doc string
+	// Run applies the rule to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position // resolved at report time
+	Rule     string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Rule:     p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to pkg and returns the surviving diagnostics,
+// sorted by position, with //diselint:ignore suppressions applied.
+// Malformed suppressions (missing rule or reason) are reported as
+// diagnostics of the pseudo-rule "suppression".
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sup, bad := collectSuppressions(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.matches(d.Position.Filename, d.Position.Line, d.Rule) {
+			kept = append(kept, d)
+		}
+	}
+	diags = append(kept, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags, nil
+}
+
+// suppressions maps file -> line -> set of suppressed rule names. A rule
+// name of "*" suppresses every rule on the line (used sparingly).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) matches(file string, line int, rule string) bool {
+	lines := s[file]
+	if lines == nil {
+		return false
+	}
+	// A suppression applies to its own line and to the line below it (the
+	// standalone-comment-above-the-statement form).
+	for _, l := range [2]int{line, line - 1} {
+		if rules := lines[l]; rules != nil && (rules[rule] || rules["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+var suppressRe = regexp.MustCompile(`^//diselint:ignore\s+(\S+)\s*(.*)$`)
+
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//diselint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := suppressRe.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Position: pos,
+						Rule:     "suppression",
+						Message:  "malformed suppression: want //diselint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				rules[m[1]] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+// ---- shared AST/type helpers used by the checkers ----
+
+// MatchPkg reports whether a package path denotes the project package with
+// the given base name: the real module path ("dise/internal/<base>"), any
+// module's "internal/<base>", or the bare name used by analyzer testdata
+// stubs ("<base>").
+func MatchPkg(path, base string) bool {
+	return path == "dise/internal/"+base ||
+		strings.HasSuffix(path, "/internal/"+base) ||
+		path == base
+}
+
+// WalkWithStack visits every node of f, passing the stack of ancestors
+// (innermost last, not including n itself).
+func WalkWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// NamedOf unwraps pointers and returns the named type of t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// HasBoolField reports whether t (through pointers) is a struct with a
+// bool field of the given name.
+func HasBoolField(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name {
+			b, ok := f.Type().Underlying().(*types.Basic)
+			return ok && b.Kind() == types.Bool
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against // want comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the stdlib-only
+// framework of internal/analysis.
+//
+// Layout, as in x/tools: <testdata>/src/<pkgpath>/*.go. Imports in testdata
+// files resolve against sibling directories under <testdata>/src first
+// (stub packages standing in for the real project ones), then against the
+// standard library.
+//
+// Expectations are comments of the form
+//
+//	x := foo() // want "substring of the diagnostic"
+//
+// Every diagnostic must land on a line carrying a matching want, and every
+// want must be matched by some diagnostic; anything else fails the test.
+// Suppressed diagnostics (//diselint:ignore) are filtered before matching,
+// so a line with a suppression comment and no want proves the suppression
+// mechanism works.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"dise/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Run loads each named package from testdata/src and applies the analyzer,
+// comparing diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgpaths {
+		pkgs, err := l.LoadTestdata(testdata+"/src", path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		if len(pkgs) == 0 {
+			t.Fatalf("analysistest: no packages at %s", path)
+		}
+		for _, pkg := range pkgs {
+			checkPkg(t, pkg, a)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkPkg(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", pkg.PkgPath, err)
+	}
+	// Collect wants: file/line -> list of expected substrings.
+	wants := map[wantKey][]string{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], unquote(m[1]))
+				}
+			}
+		}
+	}
+	matched := map[wantKey][]bool{}
+	for _, d := range diags {
+		k := wantKey{d.Position.Filename, d.Position.Line}
+		ws := wants[k]
+		found := false
+		for i, w := range ws {
+			if len(matched[k]) == 0 {
+				matched[k] = make([]bool, len(ws))
+			}
+			if !matched[k][i] && contains(d.Message, w) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Position, d.Rule, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if len(matched[k]) == 0 || !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+func contains(msg, want string) bool {
+	if want == "" {
+		return false
+	}
+	return regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(msg)
+}
+
+func unquote(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+// TestLoadModule type-checks the whole repository through the loader — the
+// same path cmd/diselint takes — so a loader regression fails here, not in
+// a CI lint step.
+func TestLoadModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"dise":                     false,
+		"dise/internal/sym":        false,
+		"dise/internal/constraint": false,
+		"dise/internal/symexec":    false,
+	}
+	for _, p := range pkgs {
+		if _, ok := want[p.PkgPath]; ok {
+			want[p.PkgPath] = true
+		}
+		if p.TypesInfo == nil || len(p.Syntax) == 0 {
+			t.Errorf("%s: missing syntax or type info", p.PkgPath)
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package fpkeys enforces the cache-key representation invariant of PR 5:
+// cache keys are derived from the interner's precomputed structural
+// fingerprint pairs (sym.Fingerprints), never from String() renderings.
+//
+// Rendering-based keys were removed for two reasons. They cost a full
+// rendering pass plus a byte-wise hash walk on every cache probe, on
+// expressions whose fingerprints are O(1) field reads. Worse, they are
+// unsound as identities: two structurally distinct expressions can render
+// identically (the rendering drops interning distinctions), so a
+// rendering-keyed cache can serve one expression's verdict for the other.
+//
+// The rule: the result of a String() call on a sym expression (or of
+// sym.Conjoin, the path-condition renderer) must not flow into a
+// key-shaped sink — a key-extension/key-building call, a hash writer, a
+// map index, or a *key struct literal. Rendering for diagnostics, logs and
+// error messages is untouched.
+package fpkeys
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dise/internal/analysis"
+)
+
+// Analyzer is the fpkeys rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "fpkeys",
+	Doc:  "cache keys must be built from fingerprint pairs, not String() renderings of sym expressions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WalkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !rendersSymExpr(pass, call) {
+				return
+			}
+			if sink := keySink(pass, call, stack); sink != "" {
+				pass.Reportf(call.Pos(), "sym expression rendering used as a cache key (%s); key on the fingerprint pair (sym.Fingerprints) instead — renderings are slow to hash and structurally distinct expressions may render alike", sink)
+			}
+		})
+	}
+	return nil
+}
+
+// rendersSymExpr reports whether call renders a sym expression: a String()
+// method call on a value of a sym node or interface type, or sym.Conjoin.
+func rendersSymExpr(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "String":
+		if len(call.Args) != 0 {
+			return false
+		}
+		return isSymExprType(pass.TypesInfo.Types[sel.X].Type)
+	case "Conjoin":
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				return analysis.MatchPkg(pn.Imported().Path(), "sym")
+			}
+		}
+	}
+	return false
+}
+
+// isSymExprType: a named type declared in the sym package that is an
+// expression node (exprNode marker) or the Expr interface itself.
+func isSymExprType(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !analysis.MatchPkg(named.Obj().Pkg().Path(), "sym") {
+		return false
+	}
+	if named.Obj().Name() == "Expr" {
+		return true
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "exprNode" {
+			return true
+		}
+	}
+	return false
+}
+
+// keySink climbs from the rendering call through value-preserving parents
+// (parens, string concatenation, string/[]byte conversions, Sprintf) and
+// names the key-shaped sink the rendering lands in, or "".
+func keySink(pass *analysis.Pass, n ast.Node, stack []ast.Node) string {
+	cur := ast.Node(n)
+	for i := len(stack) - 1; i >= 0; i-- {
+		parent := stack[i]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.BinaryExpr:
+			if p.Op == token.ADD {
+				cur = p
+				continue
+			}
+			return ""
+		case *ast.KeyValueExpr:
+			if p.Value == cur {
+				cur = p
+				continue
+			}
+			return ""
+		case *ast.CompositeLit:
+			if named := analysis.NamedOf(pass.TypesInfo.Types[p].Type); named != nil &&
+				strings.Contains(strings.ToLower(named.Obj().Name()), "key") {
+				return "field of key struct " + named.Obj().Name()
+			}
+			return ""
+		case *ast.IndexExpr:
+			if p.Index == cur {
+				if t := pass.TypesInfo.Types[p.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return "map key"
+					}
+				}
+			}
+			return ""
+		case *ast.CallExpr:
+			name, recvT := calleeName(pass, p)
+			switch {
+			case isConversion(pass, p) || name == "Sprintf" || name == "Sprint":
+				cur = p
+				continue
+			case name == "extend" || strings.Contains(strings.ToLower(name), "key"):
+				return "argument of " + name
+			case (name == "Write" || name == "WriteString" || name == "Sum") && isHashRecv(recvT):
+				return "hash input via " + name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+	return ""
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) (string, types.Type) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, nil
+	case *ast.SelectorExpr:
+		return f.Sel.Name, pass.TypesInfo.Types[f.X].Type
+	}
+	return "", nil
+}
+
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isHashRecv: the receiver's type is declared under hash/ or crypto/ (fnv,
+// maphash, sha256, ...), or implements hash.Hash loosely (has Sum64/Sum32).
+func isHashRecv(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named != nil && named.Obj() != nil && named.Obj().Pkg() != nil {
+		p := named.Obj().Pkg().Path()
+		if strings.HasPrefix(p, "hash") || strings.HasPrefix(p, "crypto") {
+			return true
+		}
+	}
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i).Name()
+			if m == "Sum64" || m == "Sum32" || m == "BlockSize" {
+				return true
+			}
+		}
+	}
+	return false
+}

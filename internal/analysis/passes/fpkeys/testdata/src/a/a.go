@@ -1,0 +1,84 @@
+// Package a seeds fpkeys violations and non-violations.
+package a
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sym"
+)
+
+type prefixKey struct {
+	h uint64
+}
+
+func (k prefixKey) extend(s string) prefixKey {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return prefixKey{h: k.h ^ h.Sum64()}
+}
+
+type cacheKey struct {
+	render string
+}
+
+func keyFor(s string) string { return "k:" + s }
+
+// Bad: rendering hashed into a key.
+func badHash(e sym.Expr) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(e.String())) // want "sym expression rendering used as a cache key (hash input via Write)"
+	return h.Sum64()
+}
+
+// Bad: rendering used as a map key.
+func badMapKey(cache map[string]bool, e sym.Expr) bool {
+	return cache[e.String()] // want "sym expression rendering used as a cache key (map key)"
+}
+
+// Bad: rendering extended into the chained prefix key.
+func badExtend(k prefixKey, e sym.Expr) prefixKey {
+	return k.extend("c:" + e.String()) // want "sym expression rendering used as a cache key (argument of extend)"
+}
+
+// Bad: rendering stored in a key struct.
+func badKeyStruct(e sym.Expr) cacheKey {
+	return cacheKey{render: e.String()} // want "sym expression rendering used as a cache key (field of key struct cacheKey)"
+}
+
+// Bad: rendering laundered through Sprintf into a key builder.
+func badSprintf(e sym.Expr) string {
+	return keyFor(fmt.Sprintf("%v/%s", 1, e.String())) // want "sym expression rendering used as a cache key (argument of keyFor)"
+}
+
+// Bad: a rendered path condition as a map key.
+func badConjoin(memo map[string]int, pc []sym.Expr) int {
+	return memo[sym.Conjoin(pc)] // want "sym expression rendering used as a cache key (map key)"
+}
+
+// Good: rendering for diagnostics and errors is fine.
+func goodDiagnostics(e sym.Expr) error {
+	fmt.Println(e.String())
+	return fmt.Errorf("infeasible: %s", e.String())
+}
+
+// Good: fingerprint-pair keys are the sanctioned form.
+func goodFingerprint(cache map[[2]uint64]bool, e sym.Expr) bool {
+	f1, f2 := sym.Fingerprints(e)
+	return cache[[2]uint64{f1, f2}]
+}
+
+// Good: a non-sym String() used as a key is out of scope.
+type version struct{ v int }
+
+func (v version) String() string { return "v" }
+
+func goodOtherString(cache map[string]bool, v version) bool {
+	return cache[v.String()]
+}
+
+// Suppressed: documented exception; no want comment proves suppression.
+func suppressed(cache map[string]bool, e sym.Expr) bool {
+	//diselint:ignore fpkeys golden-file fixture is keyed by rendering on purpose
+	return cache[e.String()]
+}

@@ -1,0 +1,35 @@
+// Package sym is a miniature stub of dise/internal/sym for analyzer tests.
+package sym
+
+// Expr mirrors the real IR interface.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Var is a symbolic variable node.
+type Var struct {
+	Name string
+}
+
+func (*Var) exprNode() {}
+
+func (v *Var) String() string { return v.Name }
+
+// V is a smart constructor.
+func V(name string) *Var { return &Var{Name: name} }
+
+// Fingerprints returns the canonical fingerprint pair.
+func Fingerprints(e Expr) (uint64, uint64) { return 0, 0 }
+
+// Conjoin renders a conjunction of constraints.
+func Conjoin(cs []Expr) string {
+	out := ""
+	for i, c := range cs {
+		if i > 0 {
+			out += " && "
+		}
+		out += c.String()
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package other is outside the engine packages: the cancellation contract
+// does not apply, so nothing here is flagged.
+package other
+
+func spin(ready *bool) {
+	for {
+		if *ready {
+			return
+		}
+	}
+}

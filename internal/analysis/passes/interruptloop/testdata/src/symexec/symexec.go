@@ -1,0 +1,110 @@
+// Package symexec stands in for dise/internal/symexec: its path matches an
+// engine package, so the cancellation contract applies.
+package symexec
+
+// Config mirrors the engine's interrupt hook.
+type Config struct {
+	Interrupt func() error
+}
+
+type frontier struct {
+	items []int
+}
+
+func (f *frontier) Len() int { return len(f.items) }
+func (f *frontier) Pop() int {
+	it := f.items[len(f.items)-1]
+	f.items = f.items[:len(f.items)-1]
+	return it
+}
+func (f *frontier) Push(x int) { f.items = append(f.items, x) }
+
+// Bad: a worklist loop that never polls the interrupt hook.
+func badWorklist(f *frontier) int {
+	n := 0
+	for f.Len() > 0 { // want "potentially unbounded loop without an interrupt/budget check"
+		it := f.Pop()
+		if it > 1 {
+			f.Push(it - 1)
+			f.Push(it - 2)
+		}
+		n++
+	}
+	return n
+}
+
+// Bad: an infinite select-less wait loop with no cancellation path.
+func badSpin(ready *bool) {
+	for { // want "potentially unbounded loop without an interrupt/budget check"
+		if *ready {
+			return
+		}
+	}
+}
+
+// Good: the loop polls the interrupt hook.
+func goodInterrupt(f *frontier, cfg Config) int {
+	n := 0
+	for f.Len() > 0 {
+		if cfg.Interrupt != nil && cfg.Interrupt() != nil {
+			return n
+		}
+		it := f.Pop()
+		if it > 1 {
+			f.Push(it - 1)
+		}
+		n++
+	}
+	return n
+}
+
+// Good: budget counting bounds the loop.
+func goodBudget(f *frontier, budget int) int {
+	n := 0
+	for f.Len() > 0 {
+		budget--
+		if budget <= 0 {
+			return n
+		}
+		f.Pop()
+		n++
+	}
+	return n
+}
+
+// Good: a stopped flag is a cancellation check.
+func goodStopped(f *frontier, stopped *bool) {
+	for f.Len() > 0 {
+		if *stopped {
+			return
+		}
+		f.Pop()
+	}
+}
+
+// Good: counted loops are assumed bounded.
+func goodCounted(xs []int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Suppressed: provably bounded; no want comment proves the suppression.
+func goodBinarySearch(xs []int, v int) int {
+	lo, hi := 0, len(xs)
+	//diselint:ignore interruptloop bounded: the [lo,hi) window halves every iteration
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,241 @@
+// Package lockhold enforces the lock-granularity invariant behind the
+// PR 5 interner and the shared caches: a sync.Mutex/RWMutex — interner
+// shard, prefix-cache, scheduler state — must never be held across a
+// solver check (Backend.Check / CheckPC, unbounded work under a global
+// lock serializes every engine in the process) or a channel operation
+// (blocking on a channel while holding a shard lock is a deadlock waiting
+// for interleavings the race detector cannot see).
+//
+// The held region is approximated lexically: from an `x.Lock()` statement
+// to its matching `x.Unlock()` sibling statement (the straight-line
+// pattern), to the last matching Unlock in the function when the pair
+// spans branches (the interner's early-return pattern), or to the end of
+// the function when the Unlock is deferred. Function literals inside the
+// region are skipped: code in a goroutine or deferred closure does not run
+// while the lock is held at the spawn site.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dise/internal/analysis"
+)
+
+// Analyzer is the lockhold rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "mutexes must not be held across Backend.Check or channel operations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockRegion struct {
+	mutex      string // ExprString of the locked value
+	start, end token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var regions []lockRegion
+	// Gather lock statements anywhere in the function.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions have their own pass
+		}
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		mu, isLock := mutexCall(pass, stmt.X, "Lock", "RLock")
+		if !isLock {
+			return true
+		}
+		regions = append(regions, lockRegion{
+			mutex: mu,
+			start: stmt.Pos(),
+			end:   regionEnd(pass, body, stmt, mu),
+		})
+		return true
+	})
+	if len(regions) == 0 {
+		return
+	}
+	// Flag sinks inside any region.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var what string
+		var pos token.Pos
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			what, pos = "a channel send", s.Pos()
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				what, pos = "a channel receive", s.Pos()
+			}
+		case *ast.SelectStmt:
+			what, pos = "a select statement", s.Pos()
+		case *ast.CallExpr:
+			if name, ok := solverCheckCall(pass, s); ok {
+				what, pos = name, s.Pos()
+			}
+		}
+		if what == "" {
+			return true
+		}
+		for _, r := range regions {
+			if pos > r.start && pos < r.end {
+				pass.Reportf(pos, "mutex %s is held across %s; unlock before it (a lock held across a solver check serializes every engine, one held across a channel operation risks deadlock)", r.mutex, what)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall reports whether e is a call of one of the given methods on a
+// sync.Mutex/RWMutex-typed value, returning the rendered receiver.
+func mutexCall(pass *analysis.Pass, e ast.Expr, methods ...string) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	found := false
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", false
+	}
+	named := analysis.NamedOf(pass.TypesInfo.Types[sel.X].Type)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// regionEnd finds where the lock taken at stmt is released: a deferred
+// unlock means the end of the function; a sibling unlock in the same block
+// ends the region there; otherwise the last matching unlock anywhere in
+// the function (the early-return multi-exit pattern); otherwise the end of
+// the function.
+func regionEnd(pass *analysis.Pass, body *ast.BlockStmt, lock *ast.ExprStmt, mu string) token.Pos {
+	// Deferred unlock anywhere after the lock → held to function end.
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Pos() > lock.Pos() {
+			if m, ok := mutexCall(pass, d.Call, "Unlock", "RUnlock"); ok && m == mu {
+				deferred = true
+			}
+		}
+		return !deferred
+	})
+	if deferred {
+		return body.End()
+	}
+	// Sibling unlock in the enclosing block.
+	if blk := enclosingBlock(body, lock); blk != nil {
+		for _, st := range blk.List {
+			if st.Pos() <= lock.Pos() {
+				continue
+			}
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if m, ok := mutexCall(pass, es.X, "Unlock", "RUnlock"); ok && m == mu {
+					return es.Pos()
+				}
+			}
+		}
+	}
+	// Last matching unlock anywhere after the lock.
+	var last token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if es, ok := n.(*ast.ExprStmt); ok && es.Pos() > lock.Pos() {
+			if m, ok := mutexCall(pass, es.X, "Unlock", "RUnlock"); ok && m == mu {
+				last = es.End()
+			}
+		}
+		return true
+	})
+	if last != token.NoPos {
+		return last
+	}
+	return body.End()
+}
+
+// enclosingBlock finds the innermost block of body containing stmt as a
+// direct child.
+func enclosingBlock(body *ast.BlockStmt, stmt ast.Stmt) *ast.BlockStmt {
+	var out *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, st := range blk.List {
+			if st == stmt {
+				out = blk
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+// solverCheckCall reports whether call is a solver check: a Check/CheckPC
+// method on a type (or interface) declared in a constraint/solver package.
+func solverCheckCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if name := sel.Sel.Name; name != "Check" && name != "CheckPC" {
+		return "", false
+	}
+	named := analysis.NamedOf(pass.TypesInfo.Types[sel.X].Type)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	p := named.Obj().Pkg().Path()
+	if analysis.MatchPkg(p, "constraint") || analysis.MatchPkg(p, "solver") {
+		return "a solver " + sel.Sel.Name + " call", true
+	}
+	return "", false
+}

@@ -1,0 +1,95 @@
+// Package a seeds lockhold violations and non-violations.
+package a
+
+import (
+	"sync"
+
+	"constraint"
+)
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Bad: solver check under a straight-line lock/unlock pair.
+func badCheck(s *shard, b constraint.Backend) constraint.Result {
+	s.mu.Lock()
+	res := b.Check() // want "mutex s.mu is held across a solver Check call"
+	s.mu.Unlock()
+	return res
+}
+
+// Bad: deferred unlock holds the lock across the whole function.
+func badDeferCheck(s *shard, b constraint.Backend) constraint.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.Check() // want "mutex s.mu is held across a solver Check call"
+}
+
+// Bad: channel operations while holding the lock.
+func badChannel(s *shard, ch chan int) int {
+	s.mu.Lock()
+	ch <- 1 // want "mutex s.mu is held across a channel send"
+	v := <-ch // want "mutex s.mu is held across a channel receive"
+	s.mu.Unlock()
+	return v
+}
+
+// Bad: the early-return pattern still holds the lock at the check between
+// the branch unlock and the final unlock.
+func badEarlyReturn(s *shard, b constraint.Backend, k string) int {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	b.Check() // want "mutex s.mu is held across a solver Check call"
+	s.mu.Unlock()
+	return 0
+}
+
+// Good: check after releasing the lock.
+func goodUnlockFirst(s *shard, b constraint.Backend, k string) constraint.Result {
+	s.mu.Lock()
+	_ = s.m[k]
+	s.mu.Unlock()
+	return b.Check()
+}
+
+// Good: map work under the lock is what the lock is for.
+func goodMapWork(s *shard, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k]++
+	return s.m[k]
+}
+
+// Good: the channel op runs in a spawned goroutine, not under the lock.
+func goodGoroutine(s *shard, ch chan int) {
+	s.mu.Lock()
+	go func() { ch <- 1 }()
+	s.mu.Unlock()
+}
+
+// Good: sequential lock/unlock cycles do not leak the region across the
+// unlocked gap.
+func goodCycles(s *shard, b constraint.Backend) {
+	s.mu.Lock()
+	s.m["a"] = 1
+	s.mu.Unlock()
+
+	b.Check()
+
+	s.mu.Lock()
+	s.m["b"] = 2
+	s.mu.Unlock()
+}
+
+// Suppressed: documented exception; no want comment proves suppression.
+func suppressed(s *shard, ch chan int) {
+	s.mu.Lock()
+	//diselint:ignore lockhold buffered signal channel, send can never block
+	ch <- 1
+	s.mu.Unlock()
+}

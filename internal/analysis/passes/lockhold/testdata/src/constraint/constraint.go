@@ -1,0 +1,13 @@
+// Package constraint is a miniature stub of dise/internal/constraint for
+// analyzer tests.
+package constraint
+
+// Result is a solver verdict.
+type Result struct {
+	Sat bool
+}
+
+// Backend is the pluggable solver interface.
+type Backend interface {
+	Check() Result
+}

@@ -1,0 +1,87 @@
+// Package a seeds maporder violations and non-violations.
+package a
+
+import "sort"
+
+// Bad: the emitted slice is never sorted — output order changes per run.
+func badAppend(set map[int]bool) []int {
+	var out []int
+	for id := range set { // want "map iteration appends to out in nondeterministic order"
+		out = append(out, id)
+	}
+	return out
+}
+
+// Bad: string concatenation in map order.
+func badString(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration appends to s in nondeterministic order"
+		s += k
+	}
+	return s
+}
+
+// Bad: sorted some other slice, not the emitted one.
+func badWrongSort(m map[string]int) []string {
+	var keys, other []string
+	for k := range m { // want "map iteration appends to keys in nondeterministic order"
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys
+}
+
+// Good: sorted after the loop.
+func goodSorted(set map[int]bool) []int {
+	var out []int
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Good: sort.Slice with the target inside a closure argument.
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Good: order-insensitive consumption (map, count, bool) is not flagged.
+func goodInsensitive(m map[string]int) (map[string]bool, int, bool) {
+	out := map[string]bool{}
+	n := 0
+	any := false
+	for k, v := range m {
+		out[k] = true
+		n += v
+		any = any || v > 0
+	}
+	return out, n, any
+}
+
+// Good: accumulator declared inside the loop never leaks iteration order.
+func goodLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// Suppressed: documented as order-irrelevant; no want comment here proves
+// the suppression filter works.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//diselint:ignore maporder consumer treats this as an unordered set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

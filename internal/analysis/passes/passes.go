@@ -1,0 +1,25 @@
+// Package passes registers the diselint analyzer suite: one pass per
+// engine invariant.
+package passes
+
+import (
+	"dise/internal/analysis"
+	"dise/internal/analysis/passes/fpkeys"
+	"dise/internal/analysis/passes/interruptloop"
+	"dise/internal/analysis/passes/lockhold"
+	"dise/internal/analysis/passes/maporder"
+	"dise/internal/analysis/passes/symcanon"
+	"dise/internal/analysis/passes/unknowncache"
+)
+
+// All returns every analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		fpkeys.Analyzer,
+		interruptloop.Analyzer,
+		lockhold.Analyzer,
+		maporder.Analyzer,
+		symcanon.Analyzer,
+		unknowncache.Analyzer,
+	}
+}

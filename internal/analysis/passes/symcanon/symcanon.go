@@ -1,0 +1,75 @@
+// Package symcanon enforces the hash-consing invariant of internal/sym
+// (PR 5): every expression node must be canonical.
+//
+// Since the interner made structural equality pointer equality process-wide
+// (Equal short-circuits on interner headers, the prefix cache keys on
+// precomputed fingerprints, the solver's compiled-constraint cache is
+// pointer-keyed), a sym node built via a raw struct literal outside the sym
+// package is a second-class citizen: it silently misses every one of those
+// fast paths and, worse, a raw node stored where a canonical one is assumed
+// can defeat pointer-identity checks. The only sanctioned producers are the
+// smart constructors (sym.Int, sym.V, sym.Cmp, sym.Add, ...) and
+// sym.Intern.
+package symcanon
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dise/internal/analysis"
+)
+
+// Analyzer is the symcanon rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "symcanon",
+	Doc:  "sym expression nodes must be built via smart constructors or Intern, never struct literals, outside internal/sym",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.MatchPkg(pass.Pkg.Path(), "sym") {
+		// The defining package builds raw nodes by design (the interner
+		// itself, and tests of the structural-fallback path).
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := exprNodeType(pass, pass.TypesInfo.Types[n].Type); ok {
+					pass.Reportf(n.Pos(), "sym.%s built via struct literal; use the sym smart constructors or sym.Intern so the node is canonical (structural equality is pointer equality)", name)
+				}
+			case *ast.CallExpr:
+				// new(sym.T) creates a zero-valued non-canonical node.
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						if name, ok := exprNodeType(pass, pass.TypesInfo.Types[n.Args[0]].Type); ok {
+							pass.Reportf(n.Pos(), "sym.%s built via new(); use the sym smart constructors or sym.Intern so the node is canonical", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprNodeType reports whether t names a sym expression node: a type
+// declared in the sym package that carries the IR's exprNode marker method.
+func exprNodeType(pass *analysis.Pass, t types.Type) (string, bool) {
+	named := analysis.NamedOf(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !analysis.MatchPkg(obj.Pkg().Path(), "sym") {
+		return "", false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "exprNode" {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,28 @@
+// Package a seeds symcanon violations and non-violations.
+package a
+
+import "sym"
+
+// Bad: raw struct literals of expression nodes outside the sym package.
+func bad() sym.Expr {
+	x := &sym.Var{Name: "x"}              // want "sym.Var built via struct literal"
+	one := sym.IntConst{V: 1}             // want "sym.IntConst built via struct literal"
+	b := &sym.Bin{Op: 0, L: x, R: &one}   // want "sym.Bin built via struct literal"
+	n := new(sym.Var)                     // want "sym.Var built via new()"
+	_ = n
+	return b
+}
+
+// Good: smart constructors, and literals of non-node sym types.
+func good() sym.Expr {
+	meta := sym.NotANode{X: 3}
+	_ = meta
+	return sym.Add(sym.V("x"), sym.Int(1))
+}
+
+// Suppressed: a documented raw literal stays silent — this line has no
+// want comment, so the test proves the suppression filter works.
+func suppressed() sym.Expr {
+	//diselint:ignore symcanon deliberately exercises the raw-literal fallback
+	return &sym.Var{Name: "raw"}
+}

@@ -1,0 +1,43 @@
+// Package sym is a miniature stub of dise/internal/sym for analyzer tests:
+// same node shapes, same exprNode marker method, same smart constructors.
+package sym
+
+// Expr mirrors the real IR interface.
+type Expr interface {
+	exprNode()
+}
+
+// IntConst is an integer constant node.
+type IntConst struct {
+	V int64
+}
+
+// Var is a symbolic variable node.
+type Var struct {
+	Name string
+}
+
+// Bin is a binary operation node.
+type Bin struct {
+	Op   int
+	L, R Expr
+}
+
+func (*IntConst) exprNode() {}
+func (*Var) exprNode()      {}
+func (*Bin) exprNode()      {}
+
+// NotANode is declared in sym but is not an expression node: literals of it
+// are fine anywhere.
+type NotANode struct {
+	X int
+}
+
+// Int is a smart constructor.
+func Int(v int64) *IntConst { return &IntConst{V: v} }
+
+// V is a smart constructor.
+func V(name string) *Var { return &Var{Name: name} }
+
+// Add is a smart constructor.
+func Add(l, r Expr) Expr { return &Bin{Op: 0, L: l, R: r} }

@@ -1,0 +1,117 @@
+// Package a seeds unknowncache violations and non-violations.
+package a
+
+import "memo"
+
+// Result mirrors the solver verdict shape.
+type Result struct {
+	Sat     bool
+	Unknown bool
+	Model   map[string]int64
+}
+
+type entry struct {
+	res *Result
+	box map[string]int
+}
+
+// PrefixCache mirrors the constraint cache sink.
+type PrefixCache struct {
+	m map[uint64]entry
+}
+
+func (c *PrefixCache) put(k uint64, e entry) { c.m[k] = e }
+
+func solve() Result { return Result{} }
+
+// Bad: an unguarded verdict flows into the cache.
+func badPut(c *PrefixCache, k uint64) {
+	res := solve()
+	c.put(k, entry{res: &res}) // want "cached without a dominating !Unknown guard"
+}
+
+// Bad: guard exists but the sink is in the wrong branch.
+func badElse(c *PrefixCache, k uint64) {
+	res := solve()
+	if !res.Unknown {
+		_ = res
+	} else {
+		c.put(k, entry{res: &res}) // want "cached without a dominating !Unknown guard"
+	}
+}
+
+// Bad: unguarded memo recording.
+func badRecord(n *memo.Node) {
+	res := solve()
+	n.Record(res.Sat, res.Model) // want "memo recording without a dominating !Unknown guard"
+}
+
+// Bad: ad-hoc verdict map store without a guard.
+func badMap(cache map[string]Result, key string) {
+	res := solve()
+	cache[key] = res // want "cached without a dominating !Unknown guard"
+}
+
+// Good: enclosing !Unknown guard.
+func goodGuard(c *PrefixCache, k uint64) {
+	res := solve()
+	if !res.Unknown {
+		c.put(k, entry{res: &res})
+	}
+}
+
+// Good: early exit on Unknown dominates the sink.
+func goodEarlyExit(c *PrefixCache, k uint64) {
+	res := solve()
+	if res.Unknown {
+		return
+	}
+	c.put(k, entry{res: &res})
+}
+
+// Good: early continue inside a loop.
+func goodEarlyContinue(c *PrefixCache, ks []uint64, n *memo.Node) {
+	for _, k := range ks {
+		res := solve()
+		if res.Unknown {
+			continue
+		}
+		c.put(k, entry{res: &res})
+		n.Record(res.Sat, res.Model)
+	}
+}
+
+// Good: the stored verdict is a literal that never sets Unknown.
+func goodLiteral(c *PrefixCache, k uint64, model map[string]int64) {
+	res := Result{Sat: true, Model: model}
+	c.put(k, entry{res: &res})
+	unsat := Result{}
+	c.put(k, entry{res: &unsat})
+}
+
+// Good: box-only entries carry no verdict at all.
+func goodBoxOnly(c *PrefixCache, k uint64, box map[string]int) {
+	c.put(k, entry{box: box})
+}
+
+// Good: constant bool verdicts are definitional — nothing Unknown can flow
+// in (the shape of memo trie test fixtures).
+func goodConstRecord(n *memo.Node, model map[string]int64) {
+	n.Record(true, model)
+	n.Record(false, nil)
+}
+
+// Good: compound guard with other conjuncts (the engine's Record site).
+func goodCompound(n *memo.Node) {
+	res := solve()
+	if n != nil && !res.Unknown {
+		n.Record(res.Sat, res.Model)
+	}
+}
+
+// Suppressed: documented exception; no want comment proves suppression.
+func suppressed(cache map[string]Result, key string) {
+	res := solve()
+	//diselint:ignore unknowncache test fixture cache is discarded before reuse
+	cache[key] = res
+}

@@ -1,0 +1,13 @@
+// Package memo is a miniature stub of dise/internal/memo for analyzer
+// tests.
+package memo
+
+// Node is a trie node holding recorded verdicts.
+type Node struct {
+	Sats []bool
+}
+
+// Record appends a verdict. Callers must not record Unknown results.
+func (n *Node) Record(sat bool, model map[string]int64) {
+	n.Sats = append(n.Sats, sat)
+}

@@ -1,0 +1,417 @@
+// Package unknowncache enforces the Unknown contract pinned in PR 2: an
+// Unknown solver verdict is budget- and interrupt-dependent, so it must
+// never be cached, memoized, or recorded — a cached Unknown would be
+// replayed as a fact and silently corrupt later runs (treated as
+// unsatisfiable, it prunes feasible paths).
+//
+// Sinks:
+//   - calls to a put/Put method on a *Cache-named type (the constraint
+//     PrefixCache) passing a verdict-carrying value,
+//   - calls to a Record method on a type declared in internal/memo (the
+//     execution-tree trie),
+//   - map stores whose value type carries an Unknown field (ad-hoc verdict
+//     caches).
+//
+// A sink is accepted only when the stored verdict is provably not Unknown:
+// it is (or was defined as) a literal that never sets Unknown, every bool it
+// records is a compile-time constant (a definitional verdict, as in test
+// fixtures), or the sink is dominated by a `!v.Unknown` guard — an enclosing
+// if on the negated field, or an earlier `if v.Unknown
+// { return/continue/break }` in an enclosing block.
+package unknowncache
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dise/internal/analysis"
+)
+
+// Analyzer is the unknowncache rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "unknowncache",
+	Doc:  "values stored in verdict caches must be dominated by a != Unknown guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WalkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, stack)
+			case *ast.AssignStmt:
+				checkMapStore(pass, n, stack)
+			}
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := analysis.NamedOf(pass.TypesInfo.Types[sel.X].Type)
+	if recv == nil || recv.Obj() == nil {
+		return
+	}
+	switch sel.Sel.Name {
+	case "put", "Put":
+		if !strings.Contains(strings.ToLower(recv.Obj().Name()), "cache") {
+			return
+		}
+		for _, arg := range call.Args {
+			for _, v := range verdictValues(pass, arg) {
+				checkVerdict(pass, call, v, stack)
+			}
+		}
+	case "Record":
+		pkg := recv.Obj().Pkg()
+		if pkg == nil || !analysis.MatchPkg(pkg.Path(), "memo") {
+			return
+		}
+		// The recorded sat/model are projected off a Result upstream; require
+		// a dominating Unknown guard at the call site. A call whose every
+		// bool argument is a compile-time constant records a definitional
+		// verdict, not a solver projection — nothing Unknown can flow in.
+		if constantVerdicts(pass, call) {
+			return
+		}
+		if !guarded(pass, call, nil, stack) {
+			pass.Reportf(call.Pos(), "memo recording without a dominating !Unknown guard: Unknown verdicts are budget/interrupt-dependent and must never be recorded (a replayed Unknown silently prunes feasible paths)")
+		}
+	}
+}
+
+// constantVerdicts reports whether every boolean argument of the call is a
+// compile-time constant (true/false literals, named constants).
+func constantVerdicts(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv := pass.TypesInfo.Types[arg]
+		if tv.Type == nil {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsBoolean != 0 {
+			if tv.Value == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkMapStore(pass *analysis.Pass, as *ast.AssignStmt, stack []ast.Node) {
+	for i, lhs := range as.Lhs {
+		idx, ok := lhs.(*ast.IndexExpr)
+		if !ok || i >= len(as.Rhs) {
+			continue
+		}
+		t := pass.TypesInfo.Types[idx.X].Type
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if analysis.HasBoolField(pass.TypesInfo.Types[as.Rhs[i]].Type, "Unknown") {
+			checkVerdict(pass, as, as.Rhs[i], stack)
+		}
+	}
+}
+
+// verdictValues extracts the verdict-carrying sub-values of a sink
+// argument: the argument itself, or verdict-typed fields of a composite
+// literal (e.g. prefixEntry{res: &res}). A literal with no verdict field —
+// a box-only cache entry — yields nothing.
+func verdictValues(pass *analysis.Pass, arg ast.Expr) []ast.Expr {
+	if analysis.HasBoolField(pass.TypesInfo.Types[arg].Type, "Unknown") {
+		return []ast.Expr{arg}
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		if u, isAddr := arg.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+			lit, ok = u.X.(*ast.CompositeLit)
+		}
+		if !ok {
+			return nil
+		}
+	}
+	var out []ast.Expr
+	for _, elt := range lit.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if analysis.HasBoolField(pass.TypesInfo.Types[v].Type, "Unknown") {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkVerdict reports v's sink unless v is provably non-Unknown.
+func checkVerdict(pass *analysis.Pass, sink ast.Node, v ast.Expr, stack []ast.Node) {
+	obj := rootObj(pass, v)
+	if safeLiteral(pass, v, stack) {
+		return
+	}
+	if guarded(pass, sink, obj, stack) {
+		return
+	}
+	pass.Reportf(sink.Pos(), "verdict %s cached without a dominating !Unknown guard: Unknown is budget/interrupt-dependent and must never be cached (a reused Unknown silently prunes feasible paths)", types.ExprString(v))
+}
+
+// rootObj resolves v (ident or &ident) to its variable object.
+func rootObj(pass *analysis.Pass, v ast.Expr) types.Object {
+	if u, ok := v.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		v = u.X
+	}
+	id, ok := v.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// safeLiteral reports whether v is a composite literal (directly, or via
+// the single := definition of an identifier) that never sets Unknown true.
+func safeLiteral(pass *analysis.Pass, v ast.Expr, stack []ast.Node) bool {
+	if u, ok := v.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		v = u.X
+	}
+	if lit, ok := v.(*ast.CompositeLit); ok {
+		return litNeverUnknown(pass, lit)
+	}
+	id, ok := v.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := rootObj(pass, id)
+	if obj == nil {
+		return false
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	def := definingExpr(pass, fn, obj)
+	if def == nil {
+		return false
+	}
+	if u, ok := def.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		def = u.X
+	}
+	lit, ok := def.(*ast.CompositeLit)
+	return ok && litNeverUnknown(pass, lit)
+}
+
+// litNeverUnknown: keyed literal without an Unknown key, or with
+// Unknown: false; positional literal whose Unknown slot is constant false
+// or beyond the given elements.
+func litNeverUnknown(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	st, ok := derefStruct(pass.TypesInfo.Types[lit].Type)
+	if !ok {
+		return false
+	}
+	keyed := len(lit.Elts) > 0
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); !ok {
+			keyed = false
+			break
+		}
+	}
+	if keyed || len(lit.Elts) == 0 {
+		for _, e := range lit.Elts {
+			kv := e.(*ast.KeyValueExpr)
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Unknown" {
+				return isConstFalse(pass, kv.Value)
+			}
+		}
+		return true
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Unknown" {
+			if i >= len(lit.Elts) {
+				return true
+			}
+			return isConstFalse(pass, lit.Elts[i])
+		}
+	}
+	return true
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isConstFalse(pass *analysis.Pass, e ast.Expr) bool {
+	tv := pass.TypesInfo.Types[e]
+	return tv.Value != nil && tv.Value.String() == "false"
+}
+
+// definingExpr finds the RHS of obj's := (or var) definition within fn.
+func definingExpr(pass *analysis.Pass, fn ast.Node, obj types.Object) ast.Expr {
+	var out ast.Expr
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Defs[id] == obj && i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs) {
+					out = n.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					out = n.Values[i]
+				}
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+// guarded reports whether sink is dominated by a !Unknown guard on obj
+// (any object when obj is nil): an enclosing if whose then-branch holds the
+// sink and whose condition requires !x.Unknown, or an earlier statement in
+// an enclosing block of the form `if x.Unknown { return/continue/break }`.
+func guarded(pass *analysis.Pass, sink ast.Node, obj types.Object, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			inThen := i+1 < len(stack) && stack[i+1] == anc.Body
+			if inThen && condHasNotUnknown(pass, anc.Cond, obj) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if i+1 >= len(stack) {
+				continue
+			}
+			child := stack[i+1]
+			for _, st := range anc.List {
+				if st == child {
+					break
+				}
+				ifst, ok := st.(*ast.IfStmt)
+				if !ok {
+					continue
+				}
+				if condHasPositiveUnknown(pass, ifst.Cond, obj) && terminates(ifst.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condHasNotUnknown: the condition contains !x.Unknown (or x.Unknown ==
+// false) for the given object.
+func condHasNotUnknown(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.NOT && isUnknownSel(pass, n.X, obj) {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL {
+				if (isUnknownSel(pass, n.X, obj) && isConstFalse(pass, n.Y)) ||
+					(isUnknownSel(pass, n.Y, obj) && isConstFalse(pass, n.X)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// condHasPositiveUnknown: the condition contains a bare x.Unknown (not
+// under !) for the given object.
+func condHasPositiveUnknown(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	var walk func(e ast.Expr, negated bool)
+	walk = func(e ast.Expr, negated bool) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X, negated)
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				walk(e.X, !negated)
+			}
+		case *ast.BinaryExpr:
+			walk(e.X, negated)
+			walk(e.Y, negated)
+		case *ast.SelectorExpr:
+			if !negated && isUnknownSel(pass, e, obj) {
+				found = true
+			}
+		}
+	}
+	walk(cond, false)
+	return found
+}
+
+func isUnknownSel(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		e = p.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Unknown" {
+		return false
+	}
+	if obj == nil {
+		return true
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj)
+}
+
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -148,6 +148,7 @@ func (c *PrefixCache) put(key prefixKey, ent prefixEntry) {
 		return
 	}
 	c.entries[key] = c.lru.PushFront(&prefixSlot{key: key, ent: ent})
+	//diselint:ignore interruptloop bounded: each iteration evicts one LRU entry
 	for c.lru.Len() > c.capacity {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)

@@ -185,6 +185,7 @@ func ComputeAffected(gBase, gMod *cfg.Graph, d *diff.Result, opts Options) *Affe
 // growing — plus, when enabled, the transitive-writes extension rule.
 // Termination: the sets only grow and are bounded by |N|.
 func applyRules(g *cfg.Graph, acn, awn map[int]bool, opts Options) {
+	//diselint:ignore interruptloop bounded fixpoint: the sets only grow and are capped at |N|
 	for changed := true; changed; {
 		changed = false
 		// Eq. (1) and Eq. (2): control dependence on an affected conditional.
@@ -245,31 +246,33 @@ func applyRules(g *cfg.Graph, acn, awn map[int]bool, opts Options) {
 // applyEq4 iterates Eq. (4) of Fig. 4 until fixpoint: any write whose
 // definition may reach a use at an affected node becomes an affected write.
 func applyEq4(g *cfg.Graph, acn, awn map[int]bool) {
+	//diselint:ignore interruptloop bounded fixpoint: the sets only grow and are capped at |N|
 	for changed := true; changed; {
 		changed = false
 		for _, ni := range g.Nodes {
 			if !ni.IsWrite() || awn[ni.ID] || ni.Def == "" {
 				continue
 			}
-			for id := range union2(acn, awn) {
-				nj := g.Nodes[id]
-				if nj.Use[ni.Def] && g.IsCFGPath(ni, nj) {
-					awn[ni.ID] = true
-					changed = true
-					break
-				}
+			// Eq. (4) quantifies over acn ∪ awn; checking each set in turn
+			// avoids materializing the union on every fixpoint iteration
+			// (revisiting an id in both sets is harmless — the predicate is
+			// pure).
+			if defReachesUse(g, ni, acn) || defReachesUse(g, ni, awn) {
+				awn[ni.ID] = true
+				changed = true
 			}
 		}
 	}
 }
 
-func union2(a, b map[int]bool) map[int]bool {
-	out := make(map[int]bool, len(a)+len(b))
-	for k := range a {
-		out[k] = true
+// defReachesUse reports whether ni's definition may reach a use at any node
+// of set. The result is a plain disjunction, so map order cannot leak out.
+func defReachesUse(g *cfg.Graph, ni *cfg.Node, set map[int]bool) bool {
+	for id := range set {
+		nj := g.Nodes[id]
+		if nj.Use[ni.Def] && g.IsCFGPath(ni, nj) {
+			return true
+		}
 	}
-	for k := range b {
-		out[k] = true
-	}
-	return out
+	return false
 }

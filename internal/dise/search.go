@@ -325,6 +325,11 @@ func (r *Runner) checkLoops(n *cfg.Node) {
 
 func keysInto(out []int, sets ...map[int]bool) []int {
 	for _, set := range sets {
+		// The snapshot is consumed as a set: affectedLocIsReachable reduces
+		// it with a plain disjunction and idempotent resets, so element
+		// order cannot leak into results, and a sort here would put an
+		// O(n log n) pass on the per-successor hot path.
+		//diselint:ignore maporder consumed order-insensitively (OR-reduction and idempotent resets); sorting would slow the hot path
 		for id := range set {
 			out = append(out, id)
 		}

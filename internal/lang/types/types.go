@@ -202,6 +202,7 @@ func (pc *procChecker) checkCall(s *ast.Call) {
 // expansion (package inline) requires a call DAG.
 func (c *checker) checkCallGraphAcyclic() {
 	calls := map[string][]string{}
+	//diselint:ignore maporder each key's slice comes from one proc's deterministic AST walk; cross-key fill order cannot affect the final map
 	for name, pr := range c.procs {
 		ast.Walk(pr.Body.Stmts, func(s ast.Stmt) {
 			if call, ok := s.(*ast.Call); ok {

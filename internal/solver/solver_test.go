@@ -153,17 +153,17 @@ func TestCheckBooleanInputs(t *testing.T) {
 		t.Errorf("bare bool: model = %v, want B=1", res.Model)
 	}
 	// !B.
-	res = check(t, []sym.Expr{&sym.Not{X: b}}, d)
+	res = check(t, []sym.Expr{&sym.Not{X: b}}, d) //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	if !res.Sat || res.Model["B"] != 0 {
 		t.Errorf("negated bool: model = %v, want B=0", res.Model)
 	}
 	// B == true (comparison against a bool literal).
-	res = check(t, []sym.Expr{&sym.Bin{Op: sym.OpEQ, L: b, R: sym.True}}, d)
+	res = check(t, []sym.Expr{&sym.Bin{Op: sym.OpEQ, L: b, R: sym.True}}, d) //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	if !res.Sat || res.Model["B"] != 1 {
 		t.Errorf("B == true: model = %v, want B=1", res.Model)
 	}
 	// B && !B unsat.
-	res = check(t, []sym.Expr{b, &sym.Not{X: b}}, d)
+	res = check(t, []sym.Expr{b, &sym.Not{X: b}}, d) //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	if res.Sat {
 		t.Error("B && !B must be unsat")
 	}
@@ -207,7 +207,7 @@ func TestCheckNonlinear(t *testing.T) {
 
 func TestCheckDivisionModulo(t *testing.T) {
 	// X / 3 == 4 → X in [12,14].
-	div := &sym.Bin{Op: sym.OpDiv, L: x(), R: sym.Int(3)}
+	div := &sym.Bin{Op: sym.OpDiv, L: x(), R: sym.Int(3)} //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	res := check(t, []sym.Expr{sym.Cmp(sym.OpEQ, div, sym.Int(4))}, map[string]Interval{"X": {0, 100}})
 	if !res.Sat {
 		t.Fatal("X/3 == 4 must be sat")
@@ -216,8 +216,8 @@ func TestCheckDivisionModulo(t *testing.T) {
 		t.Errorf("X = %d, want in [12,14]", v)
 	}
 	// X % 2 == 1 && X % 3 == 0 → X ∈ {3, 9, 15, ...}.
-	mod2 := &sym.Bin{Op: sym.OpMod, L: x(), R: sym.Int(2)}
-	mod3 := &sym.Bin{Op: sym.OpMod, L: x(), R: sym.Int(3)}
+	mod2 := &sym.Bin{Op: sym.OpMod, L: x(), R: sym.Int(2)} //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
+	mod3 := &sym.Bin{Op: sym.OpMod, L: x(), R: sym.Int(3)} //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	cs := []sym.Expr{
 		sym.Cmp(sym.OpEQ, mod2, sym.One),
 		sym.Cmp(sym.OpEQ, mod3, sym.Zero),
@@ -228,7 +228,7 @@ func TestCheckDivisionModulo(t *testing.T) {
 	}
 	verifyModel(t, cs, res.Model)
 	// Division by zero in a constraint: unsat, not a crash.
-	divZero := &sym.Bin{Op: sym.OpDiv, L: x(), R: sym.Zero}
+	divZero := &sym.Bin{Op: sym.OpDiv, L: x(), R: sym.Zero} //diselint:ignore symcanon deliberate raw literal: exercises the non-interned structural-equality fallback
 	res = check(t, []sym.Expr{sym.Cmp(sym.OpEQ, divZero, sym.Int(1))}, map[string]Interval{"X": {0, 3}})
 	if res.Sat {
 		t.Error("division by zero constraint must be unsat")

@@ -400,9 +400,11 @@ func (e *Engine) DepthBound() int { return e.depthBound }
 // expand states in any order.
 func (e *Engine) syncStack(pc []sym.Expr) {
 	n := 0
+	//diselint:ignore interruptloop bounded: advances one frame per iteration, capped by min(len(stack), len(pc))
 	for n < len(e.stack) && n < len(pc) && sameExpr(e.stack[n], pc[n]) {
 		n++
 	}
+	//diselint:ignore interruptloop bounded: pops one frame per iteration, capped by len(stack)
 	for len(e.stack) > n {
 		e.Backend.Pop()
 		e.stack = e.stack[:len(e.stack)-1]

@@ -38,6 +38,7 @@ proc p(int x) {
 
 func popAll(f Frontier) []int {
 	var out []int
+	//diselint:ignore interruptloop test helper: drains a finite frontier, Pop reports exhaustion
 	for {
 		it, ok := f.Pop()
 		if !ok {

@@ -47,6 +47,7 @@ type envEntry struct {
 // search returns the index of name, or the insertion point with found=false.
 func (e Env) search(name string) (int, bool) {
 	lo, hi := 0, len(e.entries)
+	//diselint:ignore interruptloop bounded: binary search halves the window each iteration
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if e.entries[mid].name < name {
