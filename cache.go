@@ -41,9 +41,9 @@ func (c *cachedProgram) graph(proc *ast.Procedure) *cfg.Graph {
 
 // CacheStats reports the effectiveness of an Analyzer's parse/CFG cache.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
 }
 
 // programCache is a bounded, concurrency-safe LRU of parsed programs keyed

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
-//	     [-solver interval|bitvec] [-strategy dfs|bfs|directed] [-explore-parallelism N]
+//	     [-timeout D] [-solver interval|bitvec] [-strategy dfs|bfs|directed]
+//	     [-explore-parallelism N]
+//
+// -timeout bounds the whole run (pairwise or chain): on expiry the analysis
+// stops at the next cancellation point and the command reports the Cancelled
+// kind — as "dise: cancelled: ..." on stderr in text mode, as an
+// {"error":{"code":"cancelled",...}} envelope on stdout with -json.
 //
 // Chain mode drives a version-chain session (memoized execution-tree reuse,
 // see the "Version-chain sessions" section of the README) over an evolution
@@ -53,10 +59,16 @@ func main() {
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
 	chain := flag.String("chain", "", "comma-separated version files: run a version-chain session over them in order")
 	artifact := flag.String("artifact", "", "run the built-in evolution chain of an artifact (asw, wbs or oae)")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this long, reporting the Cancelled kind (0 = no timeout)")
 	flag.Parse()
 
 	ctx0, stop0 := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop0()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx0, cancel = context.WithTimeout(ctx0, *timeout)
+		defer cancel()
+	}
 
 	if *chain != "" || *artifact != "" {
 		// Reject pairwise-only flags instead of silently ignoring them.
@@ -107,13 +119,13 @@ func main() {
 		ModSrc:  string(modSrc),
 		Proc:    procName,
 	})
-	exitOn(err)
+	exitAnalysisOn(*asJSON, err)
 
 	if *asJSON {
 		var ts []dise.TestCase
 		if *tests {
 			ts, err = res.Tests()
-			exitOn(err)
+			exitAnalysisOn(*asJSON, err)
 		}
 		out := jsonResult{
 			Procedure:                procName,
@@ -154,7 +166,7 @@ func main() {
 		// Solved after the report so a test-generation failure never eats
 		// the analysis output.
 		ts, err := res.Tests()
-		exitOn(err)
+		exitAnalysisOn(false, err)
 		fmt.Printf("test inputs: %d\n", len(ts))
 		for _, tc := range ts {
 			fmt.Printf("  %s\n", tc.Call)
@@ -242,7 +254,7 @@ func runChain(ctx context.Context, cfg chainConfig) {
 	)
 	seedStart := time.Now()
 	sess, err := a.NewSession(ctx, dise.SessionRequest{InitialSrc: sources[0], Proc: procName})
-	exitOn(err)
+	exitAnalysisOn(cfg.asJSON, err)
 	seedMs := time.Since(seedStart).Milliseconds()
 
 	if !cfg.asJSON {
@@ -254,7 +266,7 @@ func runChain(ctx context.Context, cfg chainConfig) {
 	for i := 1; i < len(sources); i++ {
 		start := time.Now()
 		res, err := sess.Advance(ctx, sources[i])
-		exitOn(err)
+		exitAnalysisOn(cfg.asJSON, err)
 		elapsed := time.Since(start).Milliseconds()
 		m := res.Stats.Memo
 		if cfg.asJSON {
@@ -301,4 +313,38 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "dise:", err)
 		os.Exit(1)
 	}
+}
+
+// exitAnalysisOn reports an analysis failure by kind and exits. A classified
+// *dise.Error (a -timeout expiry surfacing as Cancelled, a budget hitting
+// BudgetExhausted, ...) keeps its machine-readable code: -json mode emits the
+// same {"error":{code,message}} envelope the analysis service uses, on
+// stdout, so scripted callers parse one shape for success and failure; text
+// mode prints the error, whose message already leads with the kind.
+func exitAnalysisOn(asJSON bool, err error) {
+	if err == nil {
+		return
+	}
+	code := "internal"
+	if k := dise.KindOf(err); k != 0 {
+		code = k.Code()
+	}
+	if asJSON {
+		var out struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		out.Error.Code = code
+		out.Error.Message = err.Error()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(out); encErr != nil {
+			fmt.Fprintln(os.Stderr, "dise:", encErr)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dise:", err)
+	os.Exit(1)
 }

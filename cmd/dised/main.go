@@ -1,0 +1,106 @@
+// Command dised is the long-lived multi-tenant analysis service: an
+// HTTP/JSON daemon over internal/service that holds many concurrent
+// version-chain sessions, with a tenant-keyed TTL+LRU session store,
+// admission control with per-request deadlines, and /metrics observability.
+// See the "Analysis service" section of the README for the API.
+//
+// Usage:
+//
+//	dised [-addr HOST:PORT] [-port-file PATH]
+//	      [-max-sessions N] [-sessions-per-tenant N] [-session-ttl D]
+//	      [-max-inflight N] [-max-queue N] [-deadline D] [-max-deadline D]
+//	      [-solver NAME] [-strategy NAME] [-depth N] [-max-states N]
+//	      [-explore-parallelism N]
+//
+// SIGINT/SIGTERM shut the server down gracefully (in-flight requests get
+// -shutdown-grace to finish).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dise"
+	"dise/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for scripts driving a random port)")
+	maxSessions := flag.Int("max-sessions", 0, "session store capacity; beyond it the least-recently-used session is evicted (0 = default 1024)")
+	perTenant := flag.Int("sessions-per-tenant", 0, "per-tenant session cap (0 = default 64)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle time after which a session expires (0 = default 30m)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrently running analyses (0 = default 4)")
+	maxQueue := flag.Int("max-queue", 0, "admitted requests that may wait for a slot (0 = default 64)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = default 30s)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = default 2m)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on shutdown")
+	depth := flag.Int("depth", 0, "symbolic execution depth bound (0 = default)")
+	maxStates := flag.Int("max-states", 0, "states explored per request before BudgetExhausted (0 = no cap)")
+	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
+	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
+	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxSessions:          *maxSessions,
+		MaxSessionsPerTenant: *perTenant,
+		SessionTTL:           *sessionTTL,
+		MaxInFlight:          *maxInFlight,
+		MaxQueue:             *maxQueue,
+		DefaultDeadline:      *deadline,
+		MaxDeadline:          *maxDeadline,
+		AnalyzerOptions: []dise.Option{
+			dise.WithDepthBound(*depth),
+			dise.WithMaxStates(*maxStates),
+			dise.WithSolverBackend(*solverName),
+			dise.WithSearchStrategy(*strategy),
+			dise.WithExploreParallelism(*exploreParallelism),
+		},
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dised:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dised:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dised: listening on %s\n", bound)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dised:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "dised: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dised: forced shutdown:", err)
+		}
+	}
+}

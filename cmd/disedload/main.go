@@ -1,0 +1,412 @@
+// Command disedload drives a running dised daemon (cmd/dised) with
+// synthetic version-chain traffic and reports client-side latency
+// percentiles, throughput, error-kind counts, and the server's final
+// /metrics snapshot — the harness behind BENCH_service.json.
+//
+// Chains come from two sources, mixed by -mix: the three built-in artifact
+// evolution chains (ASW 15 steps, WBS 16, OAE 9 — the paper's workload)
+// and random programs evolved by internal/randprog mutation (the
+// many-small-tenants workload).
+//
+// Usage:
+//
+//	disedload -addr HOST:PORT [-chains N] [-workers N] [-tenants N]
+//	          [-mix artifacts|rand|both] [-steps N] [-seed N]
+//	          [-deadline-ms N] [-delete] [-out FILE]
+//	disedload -addr HOST:PORT -smoke
+//
+// -smoke runs the CI smoke sequence instead of a load: create one session,
+// advance it twice, and assert over /healthz and /metrics that the store
+// holds the session and that memoized execution-tree reuse produced memo
+// hits across the service boundary.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dise/internal/artifacts"
+	"dise/internal/lang/ast"
+	"dise/internal/randprog"
+	"dise/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "dised address (host:port) — required")
+	smoke := flag.Bool("smoke", false, "run the CI smoke sequence and exit")
+	chains := flag.Int("chains", 16, "total version chains to drive")
+	workers := flag.Int("workers", 4, "concurrent client workers")
+	tenants := flag.Int("tenants", 8, "distinct tenants to spread chains over")
+	mix := flag.String("mix", "both", "chain sources: artifacts, rand, or both")
+	steps := flag.Int("steps", 6, "steps per random chain")
+	seed := flag.Int64("seed", 1, "random-chain generator seed")
+	deadlineMillis := flag.Int64("deadline-ms", 0, "per-request deadline_ms to send (0 = server default)")
+	doDelete := flag.Bool("delete", false, "delete each session after its chain (default: leave resident, for sessions-per-GB measurement)")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "disedload: -addr is required")
+		os.Exit(2)
+	}
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	if *smoke {
+		if err := runSmoke(client, base); err != nil {
+			fmt.Fprintln(os.Stderr, "disedload: smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("disedload: smoke OK")
+		return
+	}
+	report, err := runLoad(client, base, loadConfig{
+		chains:         *chains,
+		workers:        *workers,
+		tenants:        *tenants,
+		mix:            *mix,
+		steps:          *steps,
+		seed:           *seed,
+		deadlineMillis: *deadlineMillis,
+		doDelete:       *doDelete,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disedload:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disedload:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(buf))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "disedload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// postJSON sends one request and decodes a success reply into ok; on an
+// error status it returns the wire error code as a non-nil error.
+func postJSON(client *http.Client, url string, body, ok any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ep service.ErrorPayload
+		if err := json.NewDecoder(resp.Body).Decode(&ep); err != nil {
+			return fmt.Errorf("status %d (undecodable error body)", resp.StatusCode)
+		}
+		return fmt.Errorf("%s", ep.Error.Code)
+	}
+	if ok != nil {
+		return json.NewDecoder(resp.Body).Decode(ok)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, ok any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(ok)
+}
+
+// runSmoke is the CI smoke sequence (see the service smoke step of ci.yml).
+func runSmoke(client *http.Client, base string) error {
+	var health service.HealthResponse
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("healthz status %q", health.Status)
+	}
+
+	art, _ := artifacts.ByName("WBS")
+	srcs := []string{art.Base}
+	for _, v := range art.Versions {
+		srcs = append(srcs, art.SourceFor(v))
+	}
+	var created service.CreateSessionResponse
+	if err := postJSON(client, base+"/v1/sessions",
+		service.CreateSessionRequest{Tenant: "smoke", InitialSrc: srcs[0], Proc: art.Proc}, &created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	// Two advances: the first WBS mutant taints every path and may replay
+	// nothing, so memoized reuse is asserted from the second step.
+	var res service.ResultPayload
+	for i := 1; i <= 2; i++ {
+		if err := postJSON(client, base+"/v1/sessions/"+created.SessionID+"/advance",
+			service.AdvanceRequest{Tenant: "smoke", NextSrc: srcs[i]}, &res); err != nil {
+			return fmt.Errorf("advance %d: %w", i, err)
+		}
+	}
+	if m := res.Stats.Memo; !m.Enabled || m.MemoHits == 0 {
+		return fmt.Errorf("no memo hits after two advances: %+v", res.Stats.Memo)
+	}
+
+	var metrics service.Metrics
+	if err := getJSON(client, base+"/metrics", &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if metrics.Sessions.Occupancy < 1 {
+		return fmt.Errorf("metrics report no stored sessions: %+v", metrics.Sessions)
+	}
+	if metrics.MemoStats.MemoHits == 0 {
+		return fmt.Errorf("cumulative memo_stats show no hits: %+v", metrics.MemoStats)
+	}
+	if metrics.SolverStats.Checks == 0 {
+		return fmt.Errorf("cumulative solver_stats show no checks: %+v", metrics.SolverStats)
+	}
+	if metrics.Latency.Advance.Count != 2 {
+		return fmt.Errorf("advance latency histogram count = %d, want 2", metrics.Latency.Advance.Count)
+	}
+	return nil
+}
+
+// chainSpec is one version chain to drive: a seeded session advanced
+// through versions[1:].
+type chainSpec struct {
+	name     string
+	proc     string
+	versions []string
+}
+
+// loadConfig carries the load-mode flags.
+type loadConfig struct {
+	chains, workers, tenants, steps int
+	mix                             string
+	seed                            int64
+	deadlineMillis                  int64
+	doDelete                        bool
+}
+
+// buildChains materializes the chain workload: artifact chains round-robin,
+// random chains from seeded mutation, per -mix.
+func buildChains(cfg loadConfig) ([]chainSpec, error) {
+	var arts []chainSpec
+	for _, art := range artifacts.All() {
+		spec := chainSpec{name: art.Name, proc: art.Proc, versions: []string{art.Base}}
+		for _, v := range art.Versions {
+			spec.versions = append(spec.versions, art.SourceFor(v))
+		}
+		arts = append(arts, spec)
+	}
+	randChain := func(i int) chainSpec {
+		g := randprog.New(cfg.seed+int64(i), randprog.Config{})
+		prog := g.Program()
+		spec := chainSpec{name: fmt.Sprintf("rand-%d", i), proc: "p", versions: []string{ast.Pretty(prog)}}
+		for s := 0; s < cfg.steps; s++ {
+			mutated, _ := g.Mutate(prog, 1+s%2)
+			spec.versions = append(spec.versions, ast.Pretty(mutated))
+			prog = mutated
+		}
+		return spec
+	}
+	out := make([]chainSpec, 0, cfg.chains)
+	for i := 0; i < cfg.chains; i++ {
+		switch cfg.mix {
+		case "artifacts":
+			out = append(out, arts[i%len(arts)])
+		case "rand":
+			out = append(out, randChain(i))
+		case "both":
+			if i%2 == 0 {
+				out = append(out, arts[(i/2)%len(arts)])
+			} else {
+				out = append(out, randChain(i))
+			}
+		default:
+			return nil, fmt.Errorf("unknown -mix %q (want artifacts, rand or both)", cfg.mix)
+		}
+	}
+	return out, nil
+}
+
+// recorder collects client-side latencies and error codes.
+type recorder struct {
+	mu        sync.Mutex
+	latencies map[string][]float64 // endpoint -> ms samples (successes)
+	errors    map[string]int64     // wire error code -> count
+	requests  int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{latencies: make(map[string][]float64), errors: make(map[string]int64)}
+}
+
+func (r *recorder) observe(endpoint string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requests++
+	if err != nil {
+		r.errors[err.Error()]++
+		return
+	}
+	r.latencies[endpoint] = append(r.latencies[endpoint], float64(d)/float64(time.Millisecond))
+}
+
+// LatencyReport is the client-side latency summary of one endpoint.
+type LatencyReport struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+	Mean  float64 `json:"mean_ms"`
+}
+
+func summarize(samples []float64) LatencyReport {
+	if len(samples) == 0 {
+		return LatencyReport{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, s := range sorted {
+		sum += s
+	}
+	return LatencyReport{
+		Count: len(sorted),
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+	}
+}
+
+// Report is the JSON output of a load run.
+type Report struct {
+	Config struct {
+		Chains         int    `json:"chains"`
+		Workers        int    `json:"workers"`
+		Tenants        int    `json:"tenants"`
+		Mix            string `json:"mix"`
+		DeadlineMillis int64  `json:"deadline_ms"`
+	} `json:"config"`
+	WallMillis    int64                    `json:"wall_ms"`
+	Requests      int64                    `json:"requests"`
+	ThroughputRPS float64                  `json:"throughput_rps"`
+	Latency       map[string]LatencyReport `json:"latency_ms"`
+	Errors        map[string]int64         `json:"errors"`
+	ServerMetrics service.Metrics          `json:"server_metrics"`
+}
+
+func runLoad(client *http.Client, base string, cfg loadConfig) (*Report, error) {
+	specs, err := buildChains(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				driveChain(client, base, specs[i], fmt.Sprintf("tenant-%d", i%cfg.tenants), cfg, rec)
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := &Report{}
+	report.Config.Chains = cfg.chains
+	report.Config.Workers = cfg.workers
+	report.Config.Tenants = cfg.tenants
+	report.Config.Mix = cfg.mix
+	report.Config.DeadlineMillis = cfg.deadlineMillis
+	report.WallMillis = wall.Milliseconds()
+	rec.mu.Lock()
+	report.Requests = rec.requests
+	report.ThroughputRPS = float64(rec.requests) / wall.Seconds()
+	report.Latency = make(map[string]LatencyReport, len(rec.latencies))
+	for endpoint, samples := range rec.latencies {
+		report.Latency[endpoint] = summarize(samples)
+	}
+	report.Errors = make(map[string]int64, len(rec.errors))
+	for code, n := range rec.errors {
+		report.Errors[code] = n
+	}
+	rec.mu.Unlock()
+	if err := getJSON(client, base+"/metrics", &report.ServerMetrics); err != nil {
+		return nil, fmt.Errorf("final metrics scrape: %w", err)
+	}
+	return report, nil
+}
+
+// driveChain runs one chain end to end: create, advance through every
+// version, optionally delete. A failed create (cap, overload, deadline)
+// abandons the chain; a failed advance abandons the rest of it (the
+// session's chain position is unknown after an error).
+func driveChain(client *http.Client, base string, spec chainSpec, tenant string, cfg loadConfig, rec *recorder) {
+	var created service.CreateSessionResponse
+	start := time.Now()
+	err := postJSON(client, base+"/v1/sessions", service.CreateSessionRequest{
+		Tenant:         tenant,
+		InitialSrc:     spec.versions[0],
+		Proc:           spec.proc,
+		DeadlineMillis: cfg.deadlineMillis,
+	}, &created)
+	rec.observe("create", time.Since(start), err)
+	if err != nil {
+		return
+	}
+	for _, next := range spec.versions[1:] {
+		start = time.Now()
+		err := postJSON(client, base+"/v1/sessions/"+created.SessionID+"/advance", service.AdvanceRequest{
+			Tenant:         tenant,
+			NextSrc:        next,
+			DeadlineMillis: cfg.deadlineMillis,
+		}, nil)
+		rec.observe("advance", time.Since(start), err)
+		if err != nil {
+			return
+		}
+	}
+	if cfg.doDelete {
+		req, _ := http.NewRequest(http.MethodDelete,
+			base+"/v1/sessions/"+created.SessionID+"?tenant="+tenant, nil)
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+}

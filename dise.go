@@ -174,6 +174,67 @@ type SolverStats struct {
 	FrameMemoHits int    `json:"frame_memo_hits"`
 }
 
+// Add accumulates one run's solver counters into an aggregate — the
+// facade-level mirror of constraint.Stats.Add, for services that sum
+// per-request Stats into cumulative totals. The backend name is kept from
+// the first non-empty sample.
+func (s *SolverStats) Add(o SolverStats) {
+	if s.Backend == "" {
+		s.Backend = o.Backend
+	}
+	s.Checks += o.Checks
+	s.Sat += o.Sat
+	s.Unsat += o.Unsat
+	s.Unknown += o.Unknown
+	s.PushedFrames += o.PushedFrames
+	s.PoppedFrames += o.PoppedFrames
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.ModelReuses += o.ModelReuses
+	s.BoxConflicts += o.BoxConflicts
+	s.FullSolves += o.FullSolves
+	s.FrameMemoHits += o.FrameMemoHits
+}
+
+// Add accumulates one session step's memo counters into an aggregate. In the
+// aggregate, Step counts the enabled (session-step) samples added, and
+// TrieNodes tracks the largest trie observed; the hit/replay/invalidation
+// counters sum.
+func (m *MemoStats) Add(o MemoStats) {
+	if o.Enabled {
+		m.Enabled = true
+		m.Step++
+	}
+	m.MemoHits += o.MemoHits
+	m.StatesReplayed += o.StatesReplayed
+	m.StatesExploredLive += o.StatesExploredLive
+	m.NodesKept += o.NodesKept
+	m.NodesInvalidated += o.NodesInvalidated
+	if o.TrieNodes > m.TrieNodes {
+		m.TrieNodes = o.TrieNodes
+	}
+}
+
+// Add accumulates one run's cost statistics into an aggregate (counters
+// sum, the solver/memo blocks aggregate per their own Add semantics); the
+// strategy/parallelism echo fields keep the first non-zero sample. Services
+// use it to expose cumulative solver_stats/memo_stats across requests.
+func (s *Stats) Add(o Stats) {
+	s.StatesExplored += o.StatesExplored
+	s.PathConditions += o.PathConditions
+	s.InfeasibleBranches += o.InfeasibleBranches
+	s.TimeMilliseconds += o.TimeMilliseconds
+	s.SolverCalls += o.SolverCalls
+	if s.SearchStrategy == "" {
+		s.SearchStrategy = o.SearchStrategy
+	}
+	if s.ExploreParallelism == 0 {
+		s.ExploreParallelism = o.ExploreParallelism
+	}
+	s.Solver.Add(o.Solver)
+	s.Memo.Add(o.Memo)
+}
+
 func statsOf(s symexec.Stats, pcs int, cfg symexec.Config) Stats {
 	// Echo the values the scheduler resolved, not the raw config.
 	strategy := cfg.ResolvedStrategy()

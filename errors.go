@@ -1,6 +1,9 @@
 package dise
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrorKind classifies Analyzer failures so that service callers can route
 // them without string matching: client errors (bad source, unknown
@@ -28,6 +31,26 @@ const (
 	// request fails with it until the configuration is corrected.
 	InvalidConfig
 )
+
+// Code returns the kind's stable machine-readable name (snake_case), used
+// in the JSON error envelopes of cmd/dise -json and the analysis service.
+func (k ErrorKind) Code() string {
+	switch k {
+	case ParseError:
+		return "parse_error"
+	case TypeError:
+		return "type_error"
+	case UnknownProc:
+		return "unknown_proc"
+	case Cancelled:
+		return "cancelled"
+	case BudgetExhausted:
+		return "budget_exhausted"
+	case InvalidConfig:
+		return "invalid_config"
+	}
+	return fmt.Sprintf("error_kind_%d", int(k))
+}
 
 // String returns the kind's name.
 func (k ErrorKind) String() string {
@@ -80,6 +103,30 @@ func (e *Error) Unwrap() error { return e.Err }
 func (e *Error) Is(target error) bool {
 	t, ok := target.(*Error)
 	return ok && t.Kind == e.Kind && (t.Stage == "" || t.Stage == e.Stage)
+}
+
+// Kind-matching sentinels: errors.Is(err, dise.ErrCancelled) reports whether
+// err is (or wraps) a *dise.Error of that kind, regardless of stage or
+// cause. They exist so callers routing errors — e.g. a service handler
+// mapping kinds to HTTP status codes — can use the standard errors.Is
+// contract instead of type-switching on *Error.
+var (
+	ErrParse           error = &Error{Kind: ParseError}
+	ErrType            error = &Error{Kind: TypeError}
+	ErrUnknownProc     error = &Error{Kind: UnknownProc}
+	ErrCancelled       error = &Error{Kind: Cancelled}
+	ErrBudgetExhausted error = &Error{Kind: BudgetExhausted}
+	ErrInvalidConfig   error = &Error{Kind: InvalidConfig}
+)
+
+// KindOf extracts the ErrorKind of err, unwrapping as errors.As does. It
+// returns 0 for nil and for errors that are not classified *dise.Errors.
+func KindOf(err error) ErrorKind {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Kind
+	}
+	return 0
 }
 
 // errKind builds an *Error, leaving already-classified errors intact (the

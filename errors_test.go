@@ -1,0 +1,82 @@
+package dise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestErrorSentinels pins the errors.Is contract of the kind sentinels: a
+// wrapped *Error matches the sentinel of its kind (stage and cause are
+// irrelevant) and no other, which is what lets service handlers map kinds to
+// HTTP status codes without type switches.
+func TestErrorSentinels(t *testing.T) {
+	sentinels := map[ErrorKind]error{
+		ParseError:      ErrParse,
+		TypeError:       ErrType,
+		UnknownProc:     ErrUnknownProc,
+		Cancelled:       ErrCancelled,
+		BudgetExhausted: ErrBudgetExhausted,
+		InvalidConfig:   ErrInvalidConfig,
+	}
+	for kind, sentinel := range sentinels {
+		err := fmt.Errorf("handler wrapped: %w",
+			&Error{Kind: kind, Stage: "base version", Err: errors.New("cause")})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("kind %v: errors.Is(err, sentinel) = false, want true", kind)
+		}
+		for other, otherSentinel := range sentinels {
+			if other != kind && errors.Is(err, otherSentinel) {
+				t.Errorf("kind %v: errors.Is matched foreign sentinel %v", kind, other)
+			}
+		}
+		if got := KindOf(err); got != kind {
+			t.Errorf("KindOf = %v, want %v", got, kind)
+		}
+	}
+	if KindOf(nil) != 0 {
+		t.Errorf("KindOf(nil) = %v, want 0", KindOf(nil))
+	}
+	if KindOf(errors.New("plain")) != 0 {
+		t.Errorf("KindOf(plain) = %v, want 0", KindOf(errors.New("plain")))
+	}
+}
+
+// TestErrorSentinelsEndToEnd checks the sentinels against errors produced by
+// the real API surface, not hand-built values.
+func TestErrorSentinelsEndToEnd(t *testing.T) {
+	a := NewAnalyzer()
+	_, err := a.Analyze(context.Background(), Request{BaseSrc: "proc p(", ModSrc: "proc p(", Proc: "p"})
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("parse failure: errors.Is(err, ErrParse) = false; err = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = a.Analyze(ctx, Request{BaseSrc: "proc p(int x) {}", ModSrc: "proc p(int x) {}", Proc: "p"})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled context: errors.Is(err, ErrCancelled) = false; err = %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: cause chain lost context.Canceled; err = %v", err)
+	}
+}
+
+// TestErrorKindCodes pins the machine-readable codes used in JSON error
+// envelopes.
+func TestErrorKindCodes(t *testing.T) {
+	want := map[ErrorKind]string{
+		ParseError:      "parse_error",
+		TypeError:       "type_error",
+		UnknownProc:     "unknown_proc",
+		Cancelled:       "cancelled",
+		BudgetExhausted: "budget_exhausted",
+		InvalidConfig:   "invalid_config",
+	}
+	for kind, code := range want {
+		if got := kind.Code(); got != code {
+			t.Errorf("%v.Code() = %q, want %q", kind, got, code)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull reports that the admission queue is at capacity: the request
+// was rejected without waiting.
+var errQueueFull = errors.New("service overloaded: admission queue full")
+
+// admission bounds the analyses running at once. slots is a counting
+// semaphore of MaxInFlight permits; a request that cannot take a permit
+// immediately waits in a bounded queue, and its deadline keeps ticking
+// while it waits — a request whose context expires in the queue is
+// rejected with the context's error, which http.go maps to the Cancelled
+// kind exactly as a mid-analysis deadline would be.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	queued           atomic.Int64
+	inFlight         atomic.Int64
+	admitted         atomic.Int64
+	rejectedQueue    atomic.Int64
+	rejectedDeadline atomic.Int64
+}
+
+// AdmissionStats is the admission controller's observability block.
+type AdmissionStats struct {
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	// MaxInFlight and MaxQueue echo the configured bounds.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
+	// Admitted counts requests that got a slot; RejectedQueueFull requests
+	// bounced off the full queue; RejectedDeadline requests whose deadline
+	// expired while they waited.
+	Admitted          int64 `json:"admitted"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDeadline  int64 `json:"rejected_deadline"`
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes an in-flight slot, waiting in the queue if none is free.
+// On success the caller must release. Failure is errQueueFull or the
+// context's error.
+func (ad *admission) acquire(ctx context.Context) error {
+	select {
+	case ad.slots <- struct{}{}:
+		ad.admitted.Add(1)
+		ad.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if ad.queued.Add(1) > ad.maxQueue {
+		ad.queued.Add(-1)
+		ad.rejectedQueue.Add(1)
+		return errQueueFull
+	}
+	defer ad.queued.Add(-1)
+	select {
+	case ad.slots <- struct{}{}:
+		ad.admitted.Add(1)
+		ad.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		ad.rejectedDeadline.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (ad *admission) release() {
+	ad.inFlight.Add(-1)
+	<-ad.slots
+}
+
+func (ad *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:          ad.inFlight.Load(),
+		QueueDepth:        ad.queued.Load(),
+		MaxInFlight:       cap(ad.slots),
+		MaxQueue:          int(ad.maxQueue),
+		Admitted:          ad.admitted.Load(),
+		RejectedQueueFull: ad.rejectedQueue.Load(),
+		RejectedDeadline:  ad.rejectedDeadline.Load(),
+	}
+}

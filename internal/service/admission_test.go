@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBoundsInFlight(t *testing.T) {
+	ad := newAdmission(2, 4)
+	ctx := context.Background()
+	if err := ad.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.stats().InFlight; got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// A third caller must wait; freeing a slot admits it.
+	admitted := make(chan error, 1)
+	go func() { admitted <- ad.acquire(ctx) }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("third acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	ad.release()
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued acquire never admitted after release")
+	}
+	ad.release()
+	ad.release()
+	if got := ad.stats().InFlight; got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	ad := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := ad.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	waiterCtx, cancelWaiter := context.WithCancel(ctx)
+	defer cancelWaiter()
+	waiting := make(chan error, 1)
+	go func() { waiting <- ad.acquire(waiterCtx) }()
+	deadline := time.Now().Add(time.Second)
+	for ad.stats().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...the next is bounced immediately.
+	if err := ad.acquire(ctx); !errors.Is(err, errQueueFull) {
+		t.Fatalf("over-queue acquire: err = %v, want errQueueFull", err)
+	}
+	if got := ad.stats().RejectedQueueFull; got != 1 {
+		t.Fatalf("RejectedQueueFull = %d, want 1", got)
+	}
+	cancelWaiter()
+	if err := <-waiting; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+	ad.release()
+}
+
+// TestAdmissionDeadlineWhileQueued pins that a deadline expiring in the
+// queue surfaces as context.DeadlineExceeded — which http.go maps to the
+// Cancelled kind, the same classification a mid-analysis deadline gets.
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	ad := newAdmission(1, 4)
+	if err := ad.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ad.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := ad.acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-past-deadline acquire: err = %v, want DeadlineExceeded", err)
+	}
+	s := ad.stats()
+	if s.RejectedDeadline != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if status, code := statusOf(err); status != 504 || code != "cancelled" {
+		t.Fatalf("statusOf(queued deadline) = %d %q, want 504 \"cancelled\"", status, code)
+	}
+}

@@ -1,0 +1,265 @@
+package service
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"dise"
+)
+
+// Store/admission failures are plain sentinel errors; http.go maps them to
+// status codes with errors.Is, the same contract the dise kind sentinels
+// follow.
+var (
+	// errSessionNotFound covers both a never-created ID and an evicted or
+	// expired one — deliberately indistinguishable, so an evicted session
+	// looks exactly like an unknown one (and one tenant cannot probe for
+	// another tenant's session IDs).
+	errSessionNotFound = errors.New("session not found")
+	// errSessionCap reports the per-tenant session cap.
+	errSessionCap = errors.New("tenant session cap reached")
+)
+
+// sessionEntry is one stored version-chain session.
+type sessionEntry struct {
+	id      string
+	tenant  string
+	proc    string
+	sess    *dise.Session
+	created time.Time
+	// lastUsed drives both TTL expiry and LRU ordering; it moves on every
+	// successful lookup.
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// StoreStats is the session store's observability block.
+type StoreStats struct {
+	// Occupancy is the number of live sessions; Tenants the number of
+	// tenants holding at least one.
+	Occupancy int `json:"occupancy"`
+	Tenants   int `json:"tenants"`
+	// Capacity echoes the configured bounds.
+	Capacity          int `json:"capacity"`
+	PerTenantCapacity int `json:"per_tenant_capacity"`
+	// Created counts sessions ever admitted; Deleted explicit removals.
+	Created int64 `json:"created"`
+	Deleted int64 `json:"deleted"`
+	// EvictedTTL counts sessions expired idle; EvictedLRU sessions pushed
+	// out by newer ones at capacity; RejectedCap creations refused by the
+	// per-tenant cap.
+	EvictedTTL  int64 `json:"evicted_ttl"`
+	EvictedLRU  int64 `json:"evicted_lru"`
+	RejectedCap int64 `json:"rejected_cap"`
+}
+
+// sessionStore is the tenant-keyed session table: a map plus an LRU list
+// (front = most recently used), a TTL on idle time, and a per-tenant count.
+// The mutex guards only map/list bookkeeping — never an analysis; seeding a
+// session (a full symbolic execution) runs outside the lock between reserve
+// and commit.
+type sessionStore struct {
+	mu        sync.Mutex
+	capacity  int
+	perTenant int
+	ttl       time.Duration
+	now       func() time.Time
+
+	entries  map[string]*sessionEntry
+	lru      *list.List // of *sessionEntry
+	byTenant map[string]int
+
+	created, deleted         int64
+	evictedTTL, evictedLRU   int64
+	rejectedCap              int64
+	janitorStop, janitorDone chan struct{}
+}
+
+func newSessionStore(capacity, perTenant int, ttl time.Duration, now func() time.Time) *sessionStore {
+	return &sessionStore{
+		capacity:  capacity,
+		perTenant: perTenant,
+		ttl:       ttl,
+		now:       now,
+		entries:   make(map[string]*sessionEntry),
+		lru:       list.New(),
+		byTenant:  make(map[string]int),
+	}
+}
+
+// startJanitor collects expired sessions every interval, so idle sessions
+// are reclaimed even when no request ever touches the store again.
+func (st *sessionStore) startJanitor(interval time.Duration) {
+	st.janitorStop = make(chan struct{})
+	st.janitorDone = make(chan struct{})
+	go func() {
+		defer close(st.janitorDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st.mu.Lock()
+				st.sweepLocked()
+				st.mu.Unlock()
+			case <-st.janitorStop:
+				return
+			}
+		}
+	}()
+}
+
+func (st *sessionStore) close() {
+	if st.janitorStop != nil {
+		close(st.janitorStop)
+		<-st.janitorDone
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries = make(map[string]*sessionEntry)
+	st.lru.Init()
+	st.byTenant = make(map[string]int)
+}
+
+// sweepLocked drops every session idle past the TTL. The LRU list is in
+// recency order, so expired entries cluster at the back: walk from the back
+// and stop at the first live one.
+func (st *sessionStore) sweepLocked() {
+	cutoff := st.now().Add(-st.ttl)
+	for {
+		back := st.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*sessionEntry)
+		if !e.lastUsed.Before(cutoff) {
+			return
+		}
+		st.removeLocked(e)
+		st.evictedTTL++
+	}
+}
+
+func (st *sessionStore) removeLocked(e *sessionEntry) {
+	delete(st.entries, e.id)
+	st.lru.Remove(e.elem)
+	if n := st.byTenant[e.tenant] - 1; n > 0 {
+		st.byTenant[e.tenant] = n
+	} else {
+		delete(st.byTenant, e.tenant)
+	}
+}
+
+// reserve claims a per-tenant slot before the expensive session seed runs.
+// The caller must follow with exactly one commit (success) or unreserve
+// (failure). Reserving up front keeps a burst of concurrent creations from
+// overshooting the tenant cap while their seeds are still running.
+func (st *sessionStore) reserve(tenant string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	if st.byTenant[tenant] >= st.perTenant {
+		st.rejectedCap++
+		return errSessionCap
+	}
+	st.byTenant[tenant]++
+	return nil
+}
+
+func (st *sessionStore) unreserve(tenant string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := st.byTenant[tenant] - 1; n > 0 {
+		st.byTenant[tenant] = n
+	} else {
+		delete(st.byTenant, tenant)
+	}
+}
+
+// commit stores a seeded session under a fresh ID, evicting the
+// least-recently-used session if the store is at capacity. It consumes the
+// caller's reservation.
+func (st *sessionStore) commit(tenant, proc string, sess *dise.Session) string {
+	id := newSessionID()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.lru.Len() >= st.capacity {
+		oldest := st.lru.Back().Value.(*sessionEntry)
+		st.removeLocked(oldest)
+		st.evictedLRU++
+	}
+	e := &sessionEntry{
+		id:       id,
+		tenant:   tenant,
+		proc:     proc,
+		sess:     sess,
+		created:  st.now(),
+		lastUsed: st.now(),
+	}
+	e.elem = st.lru.PushFront(e)
+	st.entries[id] = e
+	st.created++
+	return id
+}
+
+// get looks a session up by ID for the given tenant, enforcing TTL lazily
+// and touching the LRU order. A tenant mismatch reports not-found, never
+// "exists but not yours".
+func (st *sessionStore) get(id, tenant string) (*sessionEntry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok || e.tenant != tenant {
+		return nil, errSessionNotFound
+	}
+	if e.lastUsed.Before(st.now().Add(-st.ttl)) {
+		st.removeLocked(e)
+		st.evictedTTL++
+		return nil, errSessionNotFound
+	}
+	e.lastUsed = st.now()
+	st.lru.MoveToFront(e.elem)
+	return e, nil
+}
+
+// remove deletes a session explicitly (DELETE /v1/sessions/{id}).
+func (st *sessionStore) remove(id, tenant string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok || e.tenant != tenant {
+		return errSessionNotFound
+	}
+	st.removeLocked(e)
+	st.deleted++
+	return nil
+}
+
+func (st *sessionStore) stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StoreStats{
+		Occupancy:         st.lru.Len(),
+		Tenants:           len(st.byTenant),
+		Capacity:          st.capacity,
+		PerTenantCapacity: st.perTenant,
+		Created:           st.created,
+		Deleted:           st.deleted,
+		EvictedTTL:        st.evictedTTL,
+		EvictedLRU:        st.evictedLRU,
+		RejectedCap:       st.rejectedCap,
+	}
+}
+
+// newSessionID returns a 128-bit random hex ID.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

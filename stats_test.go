@@ -1,0 +1,42 @@
+package dise
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAdd pins the aggregation semantics of the facade stats hooks:
+// counters sum, the backend/strategy echoes keep the first sample, the memo
+// block counts enabled steps and tracks the largest trie.
+func TestStatsAdd(t *testing.T) {
+	var agg Stats
+	agg.Add(Stats{
+		StatesExplored: 10, PathConditions: 3, InfeasibleBranches: 2,
+		TimeMilliseconds: 5, SolverCalls: 7,
+		SearchStrategy: "dfs", ExploreParallelism: 1,
+		Solver: SolverStats{Backend: "interval", Checks: 7, Sat: 5, Unsat: 2, CacheHits: 1},
+		Memo:   MemoStats{Enabled: true, Step: 4, MemoHits: 6, StatesReplayed: 8, TrieNodes: 50},
+	})
+	agg.Add(Stats{
+		StatesExplored: 5, PathConditions: 1, InfeasibleBranches: 1,
+		TimeMilliseconds: 2, SolverCalls: 3,
+		SearchStrategy: "bfs", ExploreParallelism: 4,
+		Solver: SolverStats{Backend: "bitvec", Checks: 3, Sat: 3, ModelReuses: 2},
+		Memo:   MemoStats{Enabled: true, Step: 9, MemoHits: 1, StatesExploredLive: 4, TrieNodes: 40},
+	})
+	agg.Add(Stats{StatesExplored: 1}) // cold analyze: memo disabled
+
+	want := Stats{
+		StatesExplored: 16, PathConditions: 4, InfeasibleBranches: 3,
+		TimeMilliseconds: 7, SolverCalls: 10,
+		SearchStrategy: "dfs", ExploreParallelism: 1,
+		Solver: SolverStats{Backend: "interval", Checks: 10, Sat: 8, Unsat: 2, CacheHits: 1, ModelReuses: 2},
+		Memo: MemoStats{
+			Enabled: true, Step: 2, MemoHits: 7,
+			StatesReplayed: 8, StatesExploredLive: 4, TrieNodes: 50,
+		},
+	}
+	if !reflect.DeepEqual(agg, want) {
+		t.Fatalf("aggregate mismatch:\ngot  %+v\nwant %+v", agg, want)
+	}
+}
