@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dise/internal/cfg"
 	"dise/internal/constraint"
@@ -12,6 +13,7 @@ import (
 	"dise/internal/inline"
 	"dise/internal/lang/ast"
 	"dise/internal/solver"
+	"dise/internal/sym"
 	"dise/internal/symexec"
 )
 
@@ -43,6 +45,9 @@ type Analyzer struct {
 	// variants of one base program) reuse each other's solved
 	// path-condition prefixes through it.
 	solverCache *constraint.PrefixCache
+	// runsDone counts completed runs, driving the intern-GC cadence
+	// (WithInternGC): one epoch per run, one collection per keep-window.
+	runsDone atomic.Uint64
 }
 
 // analyzerConfig is the resolved option set of an Analyzer.
@@ -59,6 +64,9 @@ type analyzerConfig struct {
 	solverCacheSize  int
 	searchStrategy   string
 	exploreWorkers   int
+	memoNodeBudget   int
+	internGCEpochs   int
+	cacheBytes       int64
 }
 
 // Option configures an Analyzer (functional options).
@@ -123,6 +131,34 @@ func WithSolverCacheCapacity(n int) Option {
 // -solver flag of cmd/dise).
 func SolverBackends() []string { return constraint.Names() }
 
+// WithMemoNodeBudget bounds each version-chain session's memo trie to n
+// nodes: after every step, whole cold subtrees (stale first, then least
+// hit) are evicted until the trie fits. Evicted conjunctions simply
+// re-solve cold if a later version produces them again — results never
+// change, only hit rates. Zero (the default) leaves tries unbounded.
+func WithMemoNodeBudget(n int) Option {
+	return func(c *analyzerConfig) { c.memoNodeBudget = n }
+}
+
+// WithInternGC enables epoch-based collection of the global hash-consing
+// intern table: the Analyzer advances the interner epoch once per completed
+// run and, every keepEpochs runs, drops table entries no run touched for
+// keepEpochs epochs (sym.CollectInterned). Collection is invisible to
+// results — a collected expression re-interns fresh and every consumer
+// compares structurally — it only bounds the table's footprint. Zero (the
+// default) disables collection.
+func WithInternGC(keepEpochs int) Option {
+	return func(c *analyzerConfig) { c.internGCEpochs = keepEpochs }
+}
+
+// WithCacheByteBudget bounds the Analyzer's two shared caches — the
+// parse/CFG cache and the solved-prefix cache — to approximately n retained
+// bytes in total (split evenly between them), on top of their entry-count
+// capacities. Zero (the default) applies no byte bound.
+func WithCacheByteBudget(n int64) Option {
+	return func(c *analyzerConfig) { c.cacheBytes = n }
+}
+
 // WithSearchStrategy selects the exploration scheduler's search strategy by
 // name: "dfs" (the default depth-first order), "bfs" (breadth-first), or
 // "directed" (priority order by CFG distance to the nearest unexplored
@@ -172,10 +208,29 @@ func NewAnalyzer(opts ...Option) *Analyzer {
 	if conf.cacheCapacity <= 0 {
 		conf.cacheCapacity = 128
 	}
+	var parseBytes, prefixBytes int64
+	if conf.cacheBytes > 0 {
+		parseBytes = conf.cacheBytes / 2
+		prefixBytes = conf.cacheBytes - parseBytes
+	}
 	return &Analyzer{
 		conf:        conf,
-		cache:       newProgramCache(conf.cacheCapacity),
-		solverCache: constraint.NewPrefixCache(conf.solverCacheSize),
+		cache:       newProgramCache(conf.cacheCapacity, parseBytes),
+		solverCache: constraint.NewPrefixCacheBytes(conf.solverCacheSize, prefixBytes),
+	}
+}
+
+// noteRunDone ticks the intern-GC clock after a completed analysis run:
+// the epoch advances every run, and a collection sweeps entries older than
+// the keep window every keepEpochs runs. A no-op unless WithInternGC is set.
+func (a *Analyzer) noteRunDone() {
+	keep := a.conf.internGCEpochs
+	if keep <= 0 {
+		return
+	}
+	sym.AdvanceEpoch()
+	if a.runsDone.Add(1)%uint64(keep) == 0 {
+		sym.CollectInterned(keep)
 	}
 }
 
@@ -297,6 +352,7 @@ func (a *Analyzer) resolveVersion(src, procName, stage string, interprocedural, 
 // runJob executes a prepared directed-analysis job and converts the outcome
 // into the public Result, classifying interrupts and budget trips.
 func (a *Analyzer) runJob(job idise.Job, modProg *ast.Program, procName string) (*Result, error) {
+	defer a.noteRunDone()
 	res := idise.Run(job)
 	if err := job.Engine.InterruptErr(); err != nil {
 		return nil, &Error{Kind: Cancelled, Err: err}
@@ -418,6 +474,7 @@ func (a *Analyzer) Execute(ctx context.Context, src, procName string) (*Summary,
 	if err != nil {
 		return nil, err
 	}
+	defer a.noteRunDone()
 	summary := engine.RunFull()
 	if err := engine.InterruptErr(); err != nil {
 		return nil, &Error{Kind: Cancelled, Err: err}

@@ -39,32 +39,53 @@ func (c *cachedProgram) graph(proc *ast.Procedure) *cfg.Graph {
 	return g
 }
 
-// CacheStats reports the effectiveness of an Analyzer's parse/CFG cache.
+// CacheStats reports the effectiveness and footprint of an Analyzer's
+// parse/CFG cache. Bytes is an approximate retained size (a documented
+// multiple of the cached source lengths — the AST, type info and CFGs scale
+// with the source); Evictions counts entries pushed out by either bound.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes_approx"`
+	Evictions int64 `json:"evictions"`
 }
 
 // programCache is a bounded, concurrency-safe LRU of parsed programs keyed
-// by the SHA-256 of their source text.
+// by the SHA-256 of their source text. The entry-count capacity always
+// applies; an approximate byte budget (maxBytes > 0) additionally evicts
+// least-recently-used entries when the estimated retained size overflows.
 type programCache struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64
+	bytes    int64
 	entries  map[[sha256.Size]byte]*list.Element
 	lru      *list.List // of *cacheSlot, front = most recent
-	hits     int64
-	misses   int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheSlot struct {
 	key  [sha256.Size]byte
 	prog *cachedProgram
+	size int64
 }
 
-func newProgramCache(capacity int) *programCache {
+// programEntryBytes estimates one entry's retained footprint from its
+// source length: the AST, type-check results and per-procedure CFGs with
+// their precomputed analyses together run roughly an order of magnitude
+// larger than the text, plus a fixed overhead for the maps and slot. A
+// coarse, deliberately conservative multiplier for capacity accounting.
+func programEntryBytes(srcLen int) int64 {
+	return int64(srcLen)*16 + 4096
+}
+
+func newProgramCache(capacity int, maxBytes int64) *programCache {
 	return &programCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		entries:  map[[sha256.Size]byte]*list.Element{},
 		lru:      list.New(),
 	}
@@ -107,12 +128,18 @@ func (pc *programCache) get(src string) (*cachedProgram, error) {
 		pc.lru.MoveToFront(el)
 		return el.Value.(*cacheSlot).prog, nil
 	}
-	pc.entries[key] = pc.lru.PushFront(&cacheSlot{key: key, prog: entry})
+	slot := &cacheSlot{key: key, prog: entry, size: programEntryBytes(len(src))}
+	pc.entries[key] = pc.lru.PushFront(slot)
+	pc.bytes += slot.size
 	//diselint:ignore interruptloop bounded: each iteration evicts one LRU entry
-	for pc.capacity > 0 && pc.lru.Len() > pc.capacity {
+	for (pc.capacity > 0 && pc.lru.Len() > pc.capacity) ||
+		(pc.maxBytes > 0 && pc.bytes > pc.maxBytes && pc.lru.Len() > 1) {
 		oldest := pc.lru.Back()
 		pc.lru.Remove(oldest)
-		delete(pc.entries, oldest.Value.(*cacheSlot).key)
+		old := oldest.Value.(*cacheSlot)
+		delete(pc.entries, old.key)
+		pc.bytes -= old.size
+		pc.evictions++
 	}
 	return entry, nil
 }
@@ -121,5 +148,5 @@ func (pc *programCache) get(src string) (*cachedProgram, error) {
 func (pc *programCache) stats() CacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return CacheStats{Hits: pc.hits, Misses: pc.misses, Entries: pc.lru.Len()}
+	return CacheStats{Hits: pc.hits, Misses: pc.misses, Entries: pc.lru.Len(), Bytes: pc.bytes, Evictions: pc.evictions}
 }

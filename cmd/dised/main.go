@@ -11,6 +11,8 @@
 //	      [-max-inflight N] [-max-queue N] [-deadline D] [-max-deadline D]
 //	      [-solver NAME] [-strategy NAME] [-depth N] [-max-states N]
 //	      [-explore-parallelism N]
+//	      [-max-trie-nodes N] [-max-trie-bytes N] [-intern-gc-epochs N]
+//	      [-cache-bytes N]
 //
 // SIGINT/SIGTERM shut the server down gracefully (in-flight requests get
 // -shutdown-grace to finish).
@@ -48,7 +50,31 @@ func main() {
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
 	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
+	maxTrieNodes := flag.Int("max-trie-nodes", 0, "per-session memo-trie node budget; cold subtrees are evicted after each step (0 = unbounded)")
+	maxTrieBytes := flag.Int64("max-trie-bytes", 0, "global ceiling on all resident sessions' memo-trie bytes; LRU sessions are evicted under pressure (0 = unbounded)")
+	internGCEpochs := flag.Int("intern-gc-epochs", 0, "collect intern-table entries untouched for this many completed runs (0 = collection off)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "approximate byte budget shared by the parse/CFG and solved-prefix caches (0 = entry-count bounds only)")
 	flag.Parse()
+
+	// The memory bounds are validated up front: a negative bound is the same
+	// class of unusable configuration as an unknown solver backend, so it
+	// fails startup with the facade's InvalidConfig kind instead of
+	// surfacing on the first request.
+	for _, b := range []struct {
+		name  string
+		value int64
+	}{
+		{"-max-trie-nodes", int64(*maxTrieNodes)},
+		{"-max-trie-bytes", *maxTrieBytes},
+		{"-intern-gc-epochs", int64(*internGCEpochs)},
+		{"-cache-bytes", *cacheBytes},
+	} {
+		if b.value < 0 {
+			fmt.Fprintf(os.Stderr, "dised: %v: %s must be >= 0 (0 disables the bound), got %d\n",
+				dise.ErrInvalidConfig, b.name, b.value)
+			os.Exit(2)
+		}
+	}
 
 	svc := service.New(service.Config{
 		MaxSessions:          *maxSessions,
@@ -58,6 +84,10 @@ func main() {
 		MaxQueue:             *maxQueue,
 		DefaultDeadline:      *deadline,
 		MaxDeadline:          *maxDeadline,
+		MaxTrieNodes:         *maxTrieNodes,
+		MaxTrieBytes:         *maxTrieBytes,
+		InternGCEpochs:       *internGCEpochs,
+		CacheBytes:           *cacheBytes,
 		AnalyzerOptions: []dise.Option{
 			dise.WithDepthBound(*depth),
 			dise.WithMaxStates(*maxStates),

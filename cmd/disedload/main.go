@@ -89,11 +89,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(buf))
+	// One-line memory summary on stderr, so the per-subsystem attribution is
+	// visible without digging through the JSON report.
+	mb := report.ServerMetrics.MemoryBreakdown
+	fmt.Fprintf(os.Stderr,
+		"disedload: memory: intern %d entries (~%s, epoch %d, collected %d), tries %d nodes (~%s), prefix-cache ~%s, parse-cache ~%s, heap_inuse %s, sessions/GB %.0f\n",
+		mb.InternEntries, fmtBytes(mb.InternBytes), mb.InternEpoch, mb.InternCollected,
+		mb.TrieNodes, fmtBytes(mb.TrieBytes),
+		fmtBytes(mb.PrefixCacheBytes), fmtBytes(mb.ParseCacheBytes),
+		fmtBytes(int64(report.ServerMetrics.Memory.HeapInuseBytes)),
+		report.ServerMetrics.Memory.SessionsPerGB)
 	if *out != "" {
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "disedload:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// fmtBytes renders an approximate byte count human-readably (KiB/MiB).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 
@@ -182,6 +204,11 @@ func runSmoke(client *http.Client, base string) error {
 	}
 	if metrics.Latency.Advance.Count != 2 {
 		return fmt.Errorf("advance latency histogram count = %d, want 2", metrics.Latency.Advance.Count)
+	}
+	// The memory breakdown must attribute the resident session's trie and
+	// the hash-consed expressions backing it.
+	if mb := metrics.MemoryBreakdown; mb.TrieNodes == 0 || mb.InternEntries == 0 {
+		return fmt.Errorf("memory_breakdown not populated: %+v", mb)
 	}
 	return nil
 }

@@ -150,8 +150,14 @@ type MemoStats struct {
 	// the symbolic inputs diverged.
 	NodesKept        int `json:"nodes_kept"`
 	NodesInvalidated int `json:"nodes_invalidated"`
-	// TrieNodes is the size of the memo trie after the step.
-	TrieNodes int `json:"trie_nodes"`
+	// NodesEvicted counts nodes the step's budget enforcement dropped
+	// (WithMemoNodeBudget) — cold subtrees that will re-solve if needed,
+	// never a correctness event.
+	NodesEvicted int `json:"nodes_evicted"`
+	// TrieNodes is the size of the memo trie after the step; TrieBytes its
+	// approximate retained footprint (memo.Tree.Bytes).
+	TrieNodes int   `json:"trie_nodes"`
+	TrieBytes int64 `json:"trie_bytes"`
 }
 
 // SolverStats is the observability block of the constraint subsystem: how
@@ -210,8 +216,12 @@ func (m *MemoStats) Add(o MemoStats) {
 	m.StatesExploredLive += o.StatesExploredLive
 	m.NodesKept += o.NodesKept
 	m.NodesInvalidated += o.NodesInvalidated
+	m.NodesEvicted += o.NodesEvicted
 	if o.TrieNodes > m.TrieNodes {
 		m.TrieNodes = o.TrieNodes
+	}
+	if o.TrieBytes > m.TrieBytes {
+		m.TrieBytes = o.TrieBytes
 	}
 }
 

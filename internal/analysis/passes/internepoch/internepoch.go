@@ -1,0 +1,140 @@
+// Package internepoch audits who may hold canonical sym expressions
+// across intern-collection epochs (PR 8).
+//
+// Since the interner became evictable (sym.CollectInterned), the
+// hash-consing contract is era-scoped: pointer equality still implies
+// structural equality forever, but structural equality implies pointer
+// equality only between nodes interned in the same collection era. A
+// canonical pointer parked in a package-level variable outside internal/sym
+// outlives every era — after a collection, a structurally identical
+// expression re-interned by a later run is a *different* pointer, so any
+// pointer-keyed map or identity comparison rooted in that global silently
+// stops matching. Expression state must therefore be run-scoped (engine,
+// session, cache-with-eviction), where everything it is compared against
+// belongs to the same era.
+//
+// The rule: a package-level variable whose type transitively mentions a sym
+// expression node is flagged, outside internal/sym itself (the interner's
+// own table and pinned constants are the mechanism, not a client). Holders
+// that are epoch-safe by construction — pinned constants, or state that
+// never relies on cross-era pointer identity — document that argument with
+// a //diselint:ignore internepoch suppression, which is exactly the audit
+// trail the eviction design calls for.
+package internepoch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dise/internal/analysis"
+)
+
+// Analyzer is the internepoch rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "internepoch",
+	Doc:  "package-level variables outside internal/sym must not retain sym expressions across intern-collection epochs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.MatchPkg(pass.Pkg.Path(), "sym") {
+		// The interner's shard table and pinned constants live here by
+		// design; the rule audits its clients.
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Test files are exempt: test fixtures live for one short process
+		// and never span a service-lifetime of collection epochs.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || name.Name == "_" {
+						continue
+					}
+					if via, ok := mentionsSymExpr(obj.Type(), make(map[types.Type]bool)); ok {
+						pass.Reportf(name.Pos(),
+							"package-level var %s retains sym expressions (via sym.%s) across intern-collection epochs; canonical pointers are identity-stable only within one era — keep expression state run-scoped, or suppress with a documented epoch-safety argument",
+							name.Name, via)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mentionsSymExpr reports whether t can transitively reach a sym expression
+// node (a named type in the sym package carrying the exprNode marker,
+// including the Expr interface itself), returning the first such type's
+// name. Function types are not followed: a stored func builds fresh
+// expressions per call rather than retaining them.
+func mentionsSymExpr(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if name, ok := symExprType(t); ok {
+			return name, ok
+		}
+		return mentionsSymExpr(t.Underlying(), seen)
+	case *types.Pointer:
+		return mentionsSymExpr(t.Elem(), seen)
+	case *types.Slice:
+		return mentionsSymExpr(t.Elem(), seen)
+	case *types.Array:
+		return mentionsSymExpr(t.Elem(), seen)
+	case *types.Chan:
+		return mentionsSymExpr(t.Elem(), seen)
+	case *types.Map:
+		if name, ok := mentionsSymExpr(t.Key(), seen); ok {
+			return name, ok
+		}
+		return mentionsSymExpr(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name, ok := mentionsSymExpr(t.Field(i).Type(), seen); ok {
+				return name, ok
+			}
+		}
+	}
+	return "", false
+}
+
+// symExprType reports whether named is a sym expression type: declared in
+// the sym package and carrying the exprNode marker method (concrete nodes
+// declare it; the Expr interface requires it).
+func symExprType(named *types.Named) (string, bool) {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !analysis.MatchPkg(obj.Pkg().Path(), "sym") {
+		return "", false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "exprNode" {
+			return obj.Name(), true
+		}
+	}
+	if iface, ok := named.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "exprNode" {
+				return obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}

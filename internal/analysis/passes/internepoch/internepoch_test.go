@@ -1,0 +1,11 @@
+package internepoch
+
+import (
+	"testing"
+
+	"dise/internal/analysis/analysistest"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

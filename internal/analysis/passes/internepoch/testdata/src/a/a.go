@@ -1,0 +1,46 @@
+// Package a seeds internepoch violations and non-violations.
+package a
+
+import "sym"
+
+// Bad: package-level state that retains canonical pointers across
+// intern-collection epochs, directly or transitively.
+var cached sym.Expr                   // want "package-level var cached retains sym expressions"
+var pool = map[string]*sym.Var{}      // want "package-level var pool retains sym expressions"
+var queue []sym.IntConst              // want "package-level var queue retains sym expressions"
+var pair, spare *sym.IntConst         // want "package-level var pair retains sym expressions" // want "package-level var spare retains sym expressions"
+var wrapped struct{ inner sym.Expr }  // want "package-level var wrapped retains sym expressions"
+var byNode = map[*sym.Var]int{}       // want "package-level var byNode retains sym expressions"
+
+// holder reaches an expression only transitively, through a named struct.
+type holder struct {
+	e sym.Expr
+}
+
+var nested map[string][]holder // want "package-level var nested retains sym expressions"
+
+// Good: non-node sym types, plain state, and stored constructors (a func
+// builds fresh expressions per call; it retains none).
+var meta sym.NotANode
+var counter int
+var build = sym.V
+
+// Suppressed: a documented cross-epoch holder stays silent — this line has
+// no want comment, so the test proves the audit's escape hatch works.
+//
+//diselint:ignore internepoch pinned constants only; never compared by identity across eras
+var pinnedTrue sym.Expr
+
+func use() sym.Expr {
+	_ = meta
+	_ = counter
+	_ = nested
+	_ = byNode
+	_ = wrapped
+	_ = pair
+	_ = spare
+	_ = queue
+	_ = pool
+	_ = pinnedTrue
+	return cached
+}

@@ -1,0 +1,33 @@
+// Package sym is a miniature stub of dise/internal/sym for analyzer tests:
+// same exprNode marker, same Expr interface, same smart constructors.
+package sym
+
+// Expr mirrors the real IR interface.
+type Expr interface {
+	exprNode()
+}
+
+// IntConst is an integer constant node.
+type IntConst struct {
+	V int64
+}
+
+// Var is a symbolic variable node.
+type Var struct {
+	Name string
+}
+
+func (*IntConst) exprNode() {}
+func (*Var) exprNode()      {}
+
+// NotANode is declared in sym but is not an expression node: globals of it
+// are fine anywhere.
+type NotANode struct {
+	X int
+}
+
+// Int is a smart constructor.
+func Int(v int64) *IntConst { return &IntConst{V: v} }
+
+// V is a smart constructor.
+func V(name string) *Var { return &Var{Name: name} }

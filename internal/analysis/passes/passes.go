@@ -5,6 +5,7 @@ package passes
 import (
 	"dise/internal/analysis"
 	"dise/internal/analysis/passes/fpkeys"
+	"dise/internal/analysis/passes/internepoch"
 	"dise/internal/analysis/passes/interruptloop"
 	"dise/internal/analysis/passes/lockhold"
 	"dise/internal/analysis/passes/maporder"
@@ -16,6 +17,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		fpkeys.Analyzer,
+		internepoch.Analyzer,
 		interruptloop.Analyzer,
 		lockhold.Analyzer,
 		maporder.Analyzer,

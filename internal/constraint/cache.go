@@ -93,28 +93,67 @@ type prefixEntry struct {
 type PrefixCache struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[prefixKey]*list.Element
-	lru      *list.List // of *prefixSlot, front = most recent
-	hits     int64
-	misses   int64
+	// maxBytes, when > 0, additionally bounds the cache by the approximate
+	// retained bytes of its entries (bytes tracks the current total) — the
+	// service-scale bound, where what matters is heap footprint rather than
+	// entry count.
+	maxBytes  int64
+	bytes     int64
+	entries   map[prefixKey]*list.Element
+	lru       *list.List // of *prefixSlot, front = most recent
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type prefixSlot struct {
-	key prefixKey
-	ent prefixEntry
+	key  prefixKey
+	ent  prefixEntry
+	size int64
+}
+
+// Approximate per-entry byte costs for the byte bound: the slot with its
+// map/list bookkeeping, one box interval, one residual pointer, one model
+// entry. Expressions referenced by residual atoms are hash-consed and
+// accounted by the intern table, not here.
+const (
+	prefixSlotBaseBytes = 192
+	boxEntryBytes       = 64
+	residualAtomBytes   = 16
+)
+
+// approxEntryBytes estimates one entry's retained footprint.
+func approxEntryBytes(ent prefixEntry) int64 {
+	b := int64(prefixSlotBaseBytes)
+	b += int64(len(ent.box)) * boxEntryBytes
+	b += int64(len(ent.residual)) * residualAtomBytes
+	if ent.res != nil {
+		b += 64 + int64(len(ent.res.Model))*40
+	}
+	return b
 }
 
 // DefaultPrefixCacheCapacity bounds a cache constructed with capacity 0.
 const DefaultPrefixCacheCapacity = 8192
 
 // NewPrefixCache returns a cache holding at most capacity prefixes
-// (DefaultPrefixCacheCapacity when capacity <= 0).
+// (DefaultPrefixCacheCapacity when capacity <= 0), with no byte bound.
 func NewPrefixCache(capacity int) *PrefixCache {
+	return NewPrefixCacheBytes(capacity, 0)
+}
+
+// NewPrefixCacheBytes is NewPrefixCache with an additional approximate byte
+// budget: when maxBytes > 0, inserting past it evicts least-recently-used
+// entries until the estimate fits again (the most recent entry always
+// stays, so one oversized entry cannot empty the cache). maxBytes <= 0
+// disables the byte bound.
+func NewPrefixCacheBytes(capacity int, maxBytes int64) *PrefixCache {
 	if capacity <= 0 {
 		capacity = DefaultPrefixCacheCapacity
 	}
 	return &PrefixCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		entries:  map[prefixKey]*list.Element{},
 		lru:      list.New(),
 	}
@@ -143,29 +182,41 @@ func (c *PrefixCache) put(key prefixKey, ent prefixEntry) {
 		slot := el.Value.(*prefixSlot)
 		if ent.res != nil || slot.ent.res == nil {
 			slot.ent = ent
+			size := approxEntryBytes(ent)
+			c.bytes += size - slot.size
+			slot.size = size
 		}
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&prefixSlot{key: key, ent: ent})
+	slot := &prefixSlot{key: key, ent: ent, size: approxEntryBytes(ent)}
+	c.entries[key] = c.lru.PushFront(slot)
+	c.bytes += slot.size
 	//diselint:ignore interruptloop bounded: each iteration evicts one LRU entry
-	for c.lru.Len() > c.capacity {
+	for c.lru.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*prefixSlot).key)
+		old := oldest.Value.(*prefixSlot)
+		delete(c.entries, old.key)
+		c.bytes -= old.size
+		c.evictions++
 	}
 }
 
-// CacheStats reports the effectiveness of a PrefixCache.
+// CacheStats reports the effectiveness and footprint of a PrefixCache.
+// Bytes is the approximate retained size of the live entries; Evictions
+// counts entries pushed out by either bound, cumulatively.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits      int64
+	Misses    int64
+	Entries   int
+	Bytes     int64
+	Evictions int64
 }
 
 // Stats snapshots hit/miss counters.
 func (c *PrefixCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Bytes: c.bytes, Evictions: c.evictions}
 }

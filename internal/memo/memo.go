@@ -61,7 +61,11 @@
 // be writing result fields; the fields are distinct words.
 package memo
 
-import "dise/internal/sym"
+import (
+	"sort"
+
+	"dise/internal/sym"
+)
 
 // Verdict is one recorded solver decision: under the path condition leading
 // to the trie node, the branch constraint Cond was satisfiable or not, with
@@ -128,6 +132,27 @@ type Node struct {
 	Verdicts []Verdict
 	// Succs are the feasible successor states' trie nodes in execution order.
 	Succs []*Node
+
+	// gen is the tree generation (session step clock, Tree.BeginStep) at
+	// which a run last touched this node — entered it, attached it, or
+	// created it. Eviction prefers subtrees whose every node is stale:
+	// retained-but-unmatched branches that exist only to serve reverted
+	// edits. hits counts verdict lookups answered from this node, ever, for
+	// hit-rate-aware retention among equally stale subtrees. Both are
+	// written only by the node's single per-run writer (the engine's
+	// concurrency discipline, see the package comment) or by the tree's
+	// owner between runs.
+	gen  uint64
+	hits uint32
+}
+
+// Touch stamps the node with the current tree generation. The engine calls
+// it on every node it enters or attaches; eviction treats untouched nodes
+// as cold.
+func (n *Node) Touch(gen uint64) {
+	if gen > n.gen {
+		n.gen = gen
+	}
 }
 
 // Lookup returns the recorded verdict for a branch constraint, matched by
@@ -135,6 +160,7 @@ type Node struct {
 func (n *Node) Lookup(cond sym.Expr) (Verdict, bool) {
 	for _, v := range n.Verdicts {
 		if eqExpr(v.Cond, cond) {
+			n.hits++
 			return v, true
 		}
 	}
@@ -159,9 +185,37 @@ func (n *Node) Child(via int8, viaCond sym.Expr) *Node {
 	return nil
 }
 
-// Tree is the session-persistent trie. The zero value is an empty memo.
+// Tree is the session-persistent trie. The zero value is an empty memo with
+// no node budget: it grows with the distinct conjunctions ever explored,
+// exactly as before budgets existed.
 type Tree struct {
 	root *Node
+	// gen is the step clock: BeginStep advances it before each run, and the
+	// engine stamps every node it touches with the current value, so after a
+	// run "gen < t.gen" identifies retained-but-unmatched nodes.
+	gen uint64
+	// maxNodes is the node budget Enforce holds the trie to; <= 0 disables
+	// eviction entirely.
+	maxNodes int
+	// evictedSubtrees/evictedNodes count Enforce's work, cumulatively.
+	evictedSubtrees int64
+	evictedNodes    int64
+}
+
+// SetNodeBudget bounds the trie to at most n nodes at each Enforce call;
+// n <= 0 disables eviction (the default).
+func (t *Tree) SetNodeBudget(n int) { t.maxNodes = n }
+
+// BeginStep advances the step clock. The session calls it before each run,
+// so the run's engine stamps touched nodes with the new generation.
+func (t *Tree) BeginStep() { t.gen++ }
+
+// Gen returns the current step generation.
+func (t *Tree) Gen() uint64 { return t.gen }
+
+// EvictionStats returns the cumulative (subtrees, nodes) evicted by Enforce.
+func (t *Tree) EvictionStats() (subtrees, nodes int64) {
+	return t.evictedSubtrees, t.evictedNodes
 }
 
 // Root returns the trie root, creating it on first use. The root's chain is
@@ -220,6 +274,159 @@ func (t *Tree) Rekey(baseToMod map[string]string) (kept, invalidated int) {
 		return 0, 0
 	}
 	return rekey(t.root, baseToMod)
+}
+
+// Approximate per-node byte costs for Tree.Bytes: the Node struct with its
+// slice headers, one Verdict, one witness-model entry, and one successor
+// pointer. Constraint expressions (ViaCond, Verdict.Cond) are hash-consed
+// and shared across the whole process, so they are accounted by the intern
+// table's estimator, not per trie node.
+const (
+	nodeBaseBytes   = 144
+	verdictBytes    = 56
+	modelEntryBytes = 40
+	succPtrBytes    = 8
+)
+
+// Bytes estimates the trie's retained heap footprint. It is an O(n) walk
+// with the same cost as Size, intended to be sampled once per session step;
+// the service store sums it across tenants to enforce a global trie-byte
+// ceiling. An estimate for capacity accounting, not an exact meter.
+func (t *Tree) Bytes() int64 {
+	return nodeBytes(t.root)
+}
+
+func nodeBytes(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	b := int64(nodeBaseBytes + len(n.Key))
+	for _, v := range n.Verdicts {
+		b += verdictBytes + int64(len(v.Model))*modelEntryBytes
+	}
+	b += int64(cap(n.Succs)) * succPtrBytes
+	for _, c := range n.Succs {
+		b += nodeBytes(c)
+	}
+	return b
+}
+
+// Enforce evicts whole subtrees until the trie fits the node budget,
+// returning the number of nodes dropped (0 when no budget is set or the
+// trie already fits). The session calls it after each run, between steps,
+// when no engine holds trie pointers.
+//
+// Eviction order is coldest-first over subtree aggregates: by the youngest
+// generation anywhere in the subtree (so retained-but-unmatched branches —
+// untouched by the current step, kept only to serve reverted edits — go
+// before anything the step replayed), then by fewest recorded lookup hits
+// (hit-rate-aware retention among equally stale branches), then biggest
+// subtree first (fewest evictions to fit), with preorder position as the
+// deterministic tiebreak. The root is never evicted. Dropping a subtree is
+// always sound: its conjunctions simply re-solve cold if a later version
+// produces them again — the chain invariant never replays what is no
+// longer recorded.
+func (t *Tree) Enforce() int {
+	if t.maxNodes <= 0 || t.root == nil {
+		return 0
+	}
+	total := size(t.root)
+	if total <= t.maxNodes {
+		return 0
+	}
+
+	type subtree struct {
+		n      *Node
+		parent *Node
+		order  int
+		size   int
+		maxGen uint64
+		hits   uint64
+	}
+	parentOf := make(map[*Node]*Node)
+	var candidates []*subtree
+	order := 0
+	var walk func(n, parent *Node) *subtree
+	walk = func(n, parent *Node) *subtree {
+		in := &subtree{n: n, parent: parent, order: order, size: 1, maxGen: n.gen, hits: uint64(n.hits)}
+		order++
+		parentOf[n] = parent
+		for _, c := range n.Succs {
+			if c == nil {
+				continue
+			}
+			ci := walk(c, n)
+			in.size += ci.size
+			if ci.maxGen > in.maxGen {
+				in.maxGen = ci.maxGen
+			}
+			in.hits += ci.hits
+		}
+		if parent != nil {
+			candidates = append(candidates, in)
+		}
+		return in
+	}
+	walk(t.root, nil)
+
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.maxGen != b.maxGen {
+			return a.maxGen < b.maxGen
+		}
+		if a.hits != b.hits {
+			return a.hits < b.hits
+		}
+		if a.size != b.size {
+			return a.size > b.size
+		}
+		return a.order < b.order
+	})
+
+	drop := make(map[*Node]bool)
+	dropped := func(n *Node) bool {
+		for p := n; p != nil; p = parentOf[p] {
+			if drop[p] {
+				return true
+			}
+		}
+		return false
+	}
+	removed := 0
+	for _, in := range candidates {
+		if total-removed <= t.maxNodes {
+			break
+		}
+		if dropped(in.n) {
+			continue
+		}
+		drop[in.n] = true
+		removed += in.size
+		t.evictedSubtrees++
+	}
+	if removed == 0 {
+		return 0
+	}
+
+	var prune func(n *Node)
+	prune = func(n *Node) {
+		out := n.Succs[:0]
+		for _, c := range n.Succs {
+			if c == nil || drop[c] {
+				continue
+			}
+			out = append(out, c)
+			prune(c)
+		}
+		// Clear the tail so the backing array stops pinning dropped subtrees.
+		for i := len(out); i < len(n.Succs); i++ {
+			n.Succs[i] = nil
+		}
+		n.Succs = out
+	}
+	prune(t.root)
+	t.evictedNodes += int64(removed)
+	return removed
 }
 
 func rekey(n *Node, baseToMod map[string]string) (kept, invalidated int) {

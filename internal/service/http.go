@@ -303,6 +303,10 @@ func (s *Service) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "advance", start, err)
 		return
 	}
+	// Refresh the store's cached trie usage (and relieve global trie-byte
+	// pressure) now that the step grew or shrank the trie.
+	nodes, bytes := entry.sess.MemoUsage()
+	s.store.updateUsage(entry, nodes, bytes)
 	s.metrics.observe("advance", time.Since(start), &res.Stats, "")
 	writeJSON(w, http.StatusOK, PayloadOf(res))
 }

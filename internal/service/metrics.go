@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dise"
+	"dise/internal/sym"
 )
 
 // latencyBucketsMillis are the histogram bucket upper bounds, exponential
@@ -185,13 +186,40 @@ type Metrics struct {
 	PrefixCache PrefixCacheStats `json:"prefix_cache"`
 
 	Memory MemoryStats `json:"memory"`
+	// MemoryBreakdown attributes long-lived memory to its subsystems
+	// (intern table, memo tries, shared caches).
+	MemoryBreakdown MemoryBreakdown `json:"memory_breakdown"`
 }
 
 // PrefixCacheStats mirrors constraint.CacheStats with JSON tags.
 type PrefixCacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes_approx"`
+	Evictions int64 `json:"evictions"`
+}
+
+// MemoryBreakdown decomposes the process's long-lived memory by subsystem,
+// so sessions_per_gb is explainable instead of one opaque heap figure. All
+// byte figures are the subsystems' own approximate estimators, not heap
+// measurements; they will not sum to heap_inuse_bytes.
+type MemoryBreakdown struct {
+	// The global hash-consing intern table: live entries, approximate
+	// bytes, the current collection epoch, and cumulative built/collected
+	// counters (collection runs only when intern GC is enabled).
+	InternEntries   int    `json:"intern_entries"`
+	InternBytes     int64  `json:"intern_bytes_approx"`
+	InternEpoch     uint64 `json:"intern_epoch"`
+	InternBuilt     uint64 `json:"intern_built"`
+	InternCollected uint64 `json:"intern_collected"`
+	// The resident sessions' memo tries, summed across tenants (the store's
+	// cached per-entry figures).
+	TrieNodes int64 `json:"trie_nodes"`
+	TrieBytes int64 `json:"trie_bytes_approx"`
+	// The two cross-tenant shared caches.
+	PrefixCacheBytes int64 `json:"prefix_cache_bytes_approx"`
+	ParseCacheBytes  int64 `json:"parse_cache_bytes_approx"`
 }
 
 // snapshot assembles the /metrics payload.
@@ -225,7 +253,20 @@ func (s *Service) snapshot() Metrics {
 
 	out.ParseCache = s.analyzer.CacheStats()
 	pc := s.analyzer.SolverCacheStats()
-	out.PrefixCache = PrefixCacheStats{Hits: pc.Hits, Misses: pc.Misses, Entries: pc.Entries}
+	out.PrefixCache = PrefixCacheStats{Hits: pc.Hits, Misses: pc.Misses, Entries: pc.Entries, Bytes: pc.Bytes, Evictions: pc.Evictions}
+
+	intern := sym.InternTableStats()
+	out.MemoryBreakdown = MemoryBreakdown{
+		InternEntries:    intern.Entries,
+		InternBytes:      intern.ApproxBytes,
+		InternEpoch:      intern.Epoch,
+		InternBuilt:      intern.Interned,
+		InternCollected:  intern.Collected,
+		TrieNodes:        out.Sessions.TrieNodes,
+		TrieBytes:        out.Sessions.TrieBytes,
+		PrefixCacheBytes: pc.Bytes,
+		ParseCacheBytes:  out.ParseCache.Bytes,
+	}
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

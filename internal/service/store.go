@@ -35,6 +35,12 @@ type sessionEntry struct {
 	// successful lookup.
 	lastUsed time.Time
 	elem     *list.Element
+	// trieNodes/trieBytes cache the session's memo-trie usage, refreshed by
+	// the handlers after each seed/advance (dise.Session.MemoUsage). Cached
+	// here — not read from the session under st.mu — so the store's byte
+	// accounting never nests the session mutex inside the store mutex.
+	trieNodes int
+	trieBytes int64
 }
 
 // StoreStats is the session store's observability block.
@@ -51,10 +57,18 @@ type StoreStats struct {
 	Deleted int64 `json:"deleted"`
 	// EvictedTTL counts sessions expired idle; EvictedLRU sessions pushed
 	// out by newer ones at capacity; RejectedCap creations refused by the
-	// per-tenant cap.
-	EvictedTTL  int64 `json:"evicted_ttl"`
-	EvictedLRU  int64 `json:"evicted_lru"`
-	RejectedCap int64 `json:"rejected_cap"`
+	// per-tenant cap; EvictedBytes sessions pushed out by trie-byte
+	// pressure (MaxTrieBytes).
+	EvictedTTL   int64 `json:"evicted_ttl"`
+	EvictedLRU   int64 `json:"evicted_lru"`
+	RejectedCap  int64 `json:"rejected_cap"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	// TrieNodes/TrieBytes total the resident sessions' memo tries (cached
+	// per entry, refreshed after each run); MaxTrieBytes echoes the global
+	// trie-byte ceiling (0 = unbounded).
+	TrieNodes    int64 `json:"trie_nodes"`
+	TrieBytes    int64 `json:"trie_bytes"`
+	MaxTrieBytes int64 `json:"max_trie_bytes"`
 }
 
 // sessionStore is the tenant-keyed session table: a map plus an LRU list
@@ -68,26 +82,35 @@ type sessionStore struct {
 	perTenant int
 	ttl       time.Duration
 	now       func() time.Time
+	// maxTrieBytes is the global ceiling on the resident sessions' summed
+	// memo-trie bytes; when an update pushes the total past it, the store
+	// evicts least-recently-used sessions (byte pressure, before rejecting
+	// anything) until the total fits. 0 = unbounded.
+	maxTrieBytes int64
 
 	entries  map[string]*sessionEntry
 	lru      *list.List // of *sessionEntry
 	byTenant map[string]int
 
+	trieNodesTotal, trieBytesTotal int64
+
 	created, deleted         int64
 	evictedTTL, evictedLRU   int64
 	rejectedCap              int64
+	evictedBytes             int64
 	janitorStop, janitorDone chan struct{}
 }
 
-func newSessionStore(capacity, perTenant int, ttl time.Duration, now func() time.Time) *sessionStore {
+func newSessionStore(capacity, perTenant int, ttl time.Duration, maxTrieBytes int64, now func() time.Time) *sessionStore {
 	return &sessionStore{
-		capacity:  capacity,
-		perTenant: perTenant,
-		ttl:       ttl,
-		now:       now,
-		entries:   make(map[string]*sessionEntry),
-		lru:       list.New(),
-		byTenant:  make(map[string]int),
+		capacity:     capacity,
+		perTenant:    perTenant,
+		ttl:          ttl,
+		maxTrieBytes: maxTrieBytes,
+		now:          now,
+		entries:      make(map[string]*sessionEntry),
+		lru:          list.New(),
+		byTenant:     make(map[string]int),
 	}
 }
 
@@ -123,6 +146,8 @@ func (st *sessionStore) close() {
 	st.entries = make(map[string]*sessionEntry)
 	st.lru.Init()
 	st.byTenant = make(map[string]int)
+	st.trieNodesTotal = 0
+	st.trieBytesTotal = 0
 }
 
 // sweepLocked drops every session idle past the TTL. The LRU list is in
@@ -147,11 +172,43 @@ func (st *sessionStore) sweepLocked() {
 func (st *sessionStore) removeLocked(e *sessionEntry) {
 	delete(st.entries, e.id)
 	st.lru.Remove(e.elem)
+	st.trieNodesTotal -= int64(e.trieNodes)
+	st.trieBytesTotal -= e.trieBytes
 	if n := st.byTenant[e.tenant] - 1; n > 0 {
 		st.byTenant[e.tenant] = n
 	} else {
 		delete(st.byTenant, e.tenant)
 	}
+}
+
+// enforceTrieBytesLocked relieves trie-byte pressure: while the resident
+// tries sum past the ceiling, the least-recently-used session is evicted —
+// always keeping the most recent one, so the session that just ran (and was
+// just touched to the front) survives even if it alone exceeds the ceiling.
+func (st *sessionStore) enforceTrieBytesLocked() {
+	//diselint:ignore interruptloop bounded: each iteration evicts one LRU entry
+	for st.maxTrieBytes > 0 && st.trieBytesTotal > st.maxTrieBytes && st.lru.Len() > 1 {
+		oldest := st.lru.Back().Value.(*sessionEntry)
+		st.removeLocked(oldest)
+		st.evictedBytes++
+	}
+}
+
+// updateUsage refreshes one session's cached trie usage and re-enforces the
+// global byte ceiling. The handlers call it after each seed/advance with
+// usage they read outside the store lock; a stale call for an entry evicted
+// in the meantime is a no-op.
+func (st *sessionStore) updateUsage(e *sessionEntry, nodes int, bytes int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.entries[e.id] != e {
+		return
+	}
+	st.trieNodesTotal += int64(nodes) - int64(e.trieNodes)
+	st.trieBytesTotal += bytes - e.trieBytes
+	e.trieNodes = nodes
+	e.trieBytes = bytes
+	st.enforceTrieBytesLocked()
 }
 
 // reserve claims a per-tenant slot before the expensive session seed runs.
@@ -185,6 +242,14 @@ func (st *sessionStore) unreserve(tenant string) {
 // caller's reservation.
 func (st *sessionStore) commit(tenant, proc string, sess *dise.Session) string {
 	id := newSessionID()
+	// Read the seeded trie's usage before taking the store lock (the
+	// session has its own mutex; never nest it inside st.mu). Unit tests
+	// commit placeholder entries with no session.
+	var nodes int
+	var bytes int64
+	if sess != nil {
+		nodes, bytes = sess.MemoUsage()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for st.lru.Len() >= st.capacity {
@@ -193,16 +258,21 @@ func (st *sessionStore) commit(tenant, proc string, sess *dise.Session) string {
 		st.evictedLRU++
 	}
 	e := &sessionEntry{
-		id:       id,
-		tenant:   tenant,
-		proc:     proc,
-		sess:     sess,
-		created:  st.now(),
-		lastUsed: st.now(),
+		id:        id,
+		tenant:    tenant,
+		proc:      proc,
+		sess:      sess,
+		created:   st.now(),
+		lastUsed:  st.now(),
+		trieNodes: nodes,
+		trieBytes: bytes,
 	}
 	e.elem = st.lru.PushFront(e)
 	st.entries[id] = e
+	st.trieNodesTotal += int64(nodes)
+	st.trieBytesTotal += bytes
 	st.created++
+	st.enforceTrieBytesLocked()
 	return id
 }
 
@@ -252,6 +322,10 @@ func (st *sessionStore) stats() StoreStats {
 		EvictedTTL:        st.evictedTTL,
 		EvictedLRU:        st.evictedLRU,
 		RejectedCap:       st.rejectedCap,
+		EvictedBytes:      st.evictedBytes,
+		TrieNodes:         st.trieNodesTotal,
+		TrieBytes:         st.trieBytesTotal,
+		MaxTrieBytes:      st.maxTrieBytes,
 	}
 }
 

@@ -40,7 +40,7 @@ func addSession(t *testing.T, st *sessionStore, tenant string) string {
 
 func TestStoreTTLEviction(t *testing.T) {
 	clock := newFakeClock()
-	st := newSessionStore(10, 10, time.Minute, clock.now)
+	st := newSessionStore(10, 10, time.Minute, 0, clock.now)
 
 	idA := addSession(t, st, "a")
 	clock.advance(30 * time.Second)
@@ -78,7 +78,7 @@ func TestStoreTTLEviction(t *testing.T) {
 
 func TestStoreLRUEviction(t *testing.T) {
 	clock := newFakeClock()
-	st := newSessionStore(2, 10, time.Hour, clock.now)
+	st := newSessionStore(2, 10, time.Hour, 0, clock.now)
 
 	id1 := addSession(t, st, "a")
 	clock.advance(time.Second)
@@ -107,7 +107,7 @@ func TestStoreLRUEviction(t *testing.T) {
 
 func TestStorePerTenantCap(t *testing.T) {
 	clock := newFakeClock()
-	st := newSessionStore(100, 2, time.Hour, clock.now)
+	st := newSessionStore(100, 2, time.Hour, 0, clock.now)
 
 	addSession(t, st, "a")
 	addSession(t, st, "a")
@@ -148,7 +148,7 @@ func TestStorePerTenantCap(t *testing.T) {
 // not exist".
 func TestStoreTenantIsolation(t *testing.T) {
 	clock := newFakeClock()
-	st := newSessionStore(10, 10, time.Hour, clock.now)
+	st := newSessionStore(10, 10, time.Hour, 0, clock.now)
 	id := addSession(t, st, "a")
 
 	if _, err := st.get(id, "b"); !errors.Is(err, errSessionNotFound) {
@@ -162,9 +162,66 @@ func TestStoreTenantIsolation(t *testing.T) {
 	}
 }
 
+// TestStoreTrieBytePressure pins the MaxTrieBytes behavior: usage updates
+// that push the resident tries past the ceiling evict LRU sessions (counted
+// separately from capacity-LRU), stale updates for evicted entries are
+// no-ops, and the most recent session always survives — even when it alone
+// exceeds the ceiling.
+func TestStoreTrieBytePressure(t *testing.T) {
+	clock := newFakeClock()
+	st := newSessionStore(10, 10, time.Hour, 1000, clock.now)
+
+	idA := addSession(t, st, "a")
+	clock.advance(time.Second)
+	idB := addSession(t, st, "a")
+	clock.advance(time.Second)
+	idC := addSession(t, st, "a")
+
+	entry := func(id string) *sessionEntry {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.entries[id]
+	}
+	eA, eB, eC := entry(idA), entry(idB), entry(idC)
+
+	st.updateUsage(eA, 10, 400)
+	st.updateUsage(eB, 10, 400)
+	if s := st.stats(); s.EvictedBytes != 0 || s.TrieBytes != 800 || s.TrieNodes != 20 {
+		t.Fatalf("stats under the ceiling: %+v", s)
+	}
+
+	// The third update crosses the 1000-byte ceiling: the LRU session (idA,
+	// oldest, never touched) is evicted to relieve pressure.
+	st.updateUsage(eC, 10, 400)
+	if _, err := st.get(idA, "a"); !errors.Is(err, errSessionNotFound) {
+		t.Fatalf("byte-pressure victim idA still resolvable: err = %v", err)
+	}
+	s := st.stats()
+	if s.EvictedBytes != 1 || s.EvictedLRU != 0 || s.Occupancy != 2 || s.TrieBytes != 800 {
+		t.Fatalf("stats after byte-pressure eviction: %+v", s)
+	}
+
+	// A stale update for the evicted entry must not corrupt the totals.
+	st.updateUsage(eA, 99, 9999)
+	if s := st.stats(); s.TrieBytes != 800 || s.TrieNodes != 20 {
+		t.Fatalf("stats after stale update: %+v", s)
+	}
+
+	// A single session larger than the whole ceiling evicts everything else
+	// but survives itself (the floor keeps the session that just ran).
+	st.updateUsage(eC, 10, 5000)
+	if s := st.stats(); s.EvictedBytes != 2 || s.Occupancy != 1 || s.TrieBytes != 5000 {
+		t.Fatalf("stats after oversized session: %+v", s)
+	}
+	if _, err := st.get(idC, "a"); err != nil {
+		t.Fatalf("most recent session evicted by its own size: %v", err)
+	}
+	_ = eB
+}
+
 func TestStoreJanitorSweeps(t *testing.T) {
 	clock := newFakeClock()
-	st := newSessionStore(10, 10, time.Minute, clock.now)
+	st := newSessionStore(10, 10, time.Minute, 0, clock.now)
 	addSession(t, st, "a")
 	clock.advance(2 * time.Minute)
 

@@ -251,17 +251,26 @@ func wrap(e Expr) string {
 }
 
 // Equal reports structural equality of two expressions. For canonical
-// (interned) nodes this is a header compare: the intern table guarantees
-// one header per structure, so two nodes are structurally equal exactly
-// when they share one — which also makes a by-value copy of a canonical
-// node compare equal to its original. The recursive walk remains as the
-// fallback for nodes built as raw literals (test code).
+// (interned) nodes the hot path is a header compare: nodes interned in the
+// same collection era share one header exactly when they are structurally
+// equal — which also makes a by-value copy of a canonical node compare
+// equal to its original. Two canonical nodes with different headers are
+// decided by their fingerprint pairs: fingerprints are pure functions of
+// structure, so differing pairs are an exact "not equal", while a matching
+// pair (a cross-collection duplicate, or a ~2^-128 collision) falls through
+// to the structural walk for the definitive answer. The walk also remains
+// the fallback for nodes built as raw literals (test code).
 func Equal(a, b Expr) bool {
 	if a == b {
 		return true
 	}
 	if ha, hb := headerOf(a), headerOf(b); ha != nil && hb != nil {
-		return ha == hb
+		if ha == hb {
+			return true
+		}
+		if ha.fp != hb.fp || ha.fp2 != hb.fp2 {
+			return false
+		}
 	}
 	switch a := a.(type) {
 	case *IntConst:

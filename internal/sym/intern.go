@@ -17,19 +17,37 @@ package sym
 // literals (test code) are "un-interned": they carry no header, and Equal
 // falls back to the structural walk for them.
 //
-// Lifetime: the table is append-only, global, and never evicted. Its size
-// is bounded by the distinct sub-expressions ever interned (shared
-// sub-structure collapses), not by the number of states — for an analysis
-// run that is a small fraction of the run's working set, and canonicality
-// across engines, sessions and cached artifacts (the memo trie, the prefix
-// cache, the parse cache all retain expression pointers) is exactly the
-// point of a process-wide table. The deliberate trade-off: a very
-// long-lived service analyzing an unbounded stream of unrelated programs
-// accretes their distinct expressions for the life of the process, like the
-// version-chain memo trie it serves. If that ever becomes a real bound,
-// eviction must be coordinated with every pointer-keyed consumer
-// (solver.compiled, the memo trie, PrefixCache keys); until then the table
-// stays simple and lock-cheap.
+// Lifetime: the table is global and epoch-collected. Its size is bounded by
+// the distinct sub-expressions interned (shared sub-structure collapses),
+// not by the number of states, and canonicality across engines, sessions
+// and cached artifacts (the memo trie, the prefix cache, the parse cache
+// all retain expression pointers) is the point of a process-wide table. For
+// a very long-lived service analyzing an unbounded stream of unrelated
+// programs, though, append-only accretion is a leak — so every table entry
+// carries the epoch (a coarse logical clock, advanced by AdvanceEpoch; the
+// facade ties it to completed analysis runs) at which it was last looked
+// up, and CollectInterned drops entries untouched for N epochs, shard by
+// shard under each shard's own lock.
+//
+// Collection weakens the canonicalization contract in exactly one way: a
+// node whose table entry was collected and that is later re-interned is
+// rebuilt fresh, so a pointer held across a collection may be structurally
+// equal to — but not pointer-identical with — a newer canonical node.
+// Pointer equality still implies structural equality, always; the converse
+// holds only between nodes interned in the same collection era. Every
+// pointer-keyed consumer tolerates that by construction: Equal falls back
+// to the (exact) fingerprint compare plus structural walk when two
+// canonical nodes have different headers, the prefix cache keys on
+// structural fingerprints (pure functions of shape, identical before and
+// after re-interning — never raw pointers), the memo trie matches verdicts
+// with sym.Equal, and the solver's compiled-constraint maps are per-run
+// (a stale pointer key merely misses and recompiles). The diselint
+// internepoch pass audits the remaining surface: no package-level variable
+// outside this package may retain sym.Expr values, so nothing else can hold
+// a canonical pointer across epochs. Pre-interned constants (True, False,
+// smallInt) are pinned — their constructors return package-level pointers
+// without a table lookup, so collecting their entries could otherwise mint
+// duplicates of the singletons themselves.
 //
 // Fingerprints are pure functions of structure (Fingerprint computes the
 // same value for an un-interned tree as interning it would), so they are
@@ -42,6 +60,7 @@ package sym
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // hdr is the interner-owned header of a canonical node. It lives behind a
@@ -69,6 +88,11 @@ type hdr struct {
 	// str memoizes the canonical rendering; nil until first requested.
 	// Concurrent first renders may race benignly (same value stored).
 	str atomic.Pointer[string]
+	// epoch is the interner epoch at which the node's table entry was last
+	// looked up (or built), or pinnedEpoch for the pre-interned constants.
+	// It is read and written only under the owning shard's mutex — a plain
+	// field, not an atomic, because every access site holds that lock.
+	epoch uint64
 }
 
 func (e *IntConst) header() *hdr  { return e.h }
@@ -259,24 +283,166 @@ type internShard struct {
 
 var internTab [internShards]internShard
 
+// internEpoch is the global epoch clock. It only orders collection — nothing
+// about expression semantics depends on it — so a coarse, occasionally
+// advanced counter is enough.
+var internEpoch atomic.Uint64
+
+// internedTotal and collectedTotal are cumulative observability counters:
+// nodes ever built into the table, and entries ever collected from it.
+var internedTotal, collectedTotal atomic.Uint64
+
+// pinnedEpoch marks entries that must never be collected: the pre-interned
+// constants, whose constructors hand out package-level pointers without a
+// table lookup (collecting their entries could mint duplicate singletons).
+const pinnedEpoch = ^uint64(0)
+
+// CurrentEpoch returns the interner's current epoch.
+func CurrentEpoch() uint64 { return internEpoch.Load() }
+
+// AdvanceEpoch moves the interner clock forward one epoch and returns the
+// new value. The facade advances it once per completed analysis run, making
+// "untouched for N epochs" mean "not needed by the last N runs".
+func AdvanceEpoch() uint64 { return internEpoch.Add(1) }
+
 // internNode returns the canonical node for k, building it (with the header
-// pre-filled by build) on first sight.
+// pre-filled by build) on first sight. Either way the entry's last-touched
+// epoch is refreshed under the shard lock.
 func internNode(fp fp128, k ikey, build func(h *hdr) Expr) Expr {
+	cur := internEpoch.Load()
 	s := &internTab[fp.a%internShards]
 	s.mu.Lock()
 	if e, ok := s.m[k]; ok {
+		if h := e.header(); h.epoch != pinnedEpoch {
+			h.epoch = cur
+		}
 		s.mu.Unlock()
 		return e
 	}
 	if s.m == nil {
 		s.m = make(map[ikey]Expr)
 	}
-	h := &hdr{fp: fp.a, fp2: fp.b}
+	h := &hdr{fp: fp.a, fp2: fp.b, epoch: cur}
 	e := build(h)
 	h.canon = e
 	s.m[k] = e
 	s.mu.Unlock()
+	internedTotal.Add(1)
 	return e
+}
+
+// CollectInterned drops every table entry untouched for more than keepEpochs
+// epochs (keepEpochs < 1 is treated as 1: only entries touched in the
+// current epoch survive) and returns the number of entries dropped. Each
+// shard is scanned and pruned under its own lock, so collection never stops
+// the world — concurrent interning proceeds on the other shards.
+//
+// Collection removes table *entries*, not nodes: a collected node stays
+// valid for every holder, it just stops being the node future interning of
+// that structure returns. See the package comment for the (relaxed)
+// contract and why every consumer tolerates it.
+func CollectInterned(keepEpochs int) int {
+	if keepEpochs < 1 {
+		keepEpochs = 1
+	}
+	cur := internEpoch.Load()
+	var cutoff uint64
+	if uint64(keepEpochs) < cur {
+		cutoff = cur - uint64(keepEpochs)
+	}
+	dropped := 0
+	for i := range internTab {
+		s := &internTab[i]
+		s.mu.Lock()
+		before := len(s.m)
+		for k, e := range s.m {
+			if h := e.header(); h.epoch != pinnedEpoch && h.epoch < cutoff {
+				delete(s.m, k)
+			}
+		}
+		d := before - len(s.m)
+		if d > 0 && d >= len(s.m) {
+			// Go maps never shrink their bucket arrays on delete; when a
+			// collection halved the shard (or more), rebuild the map so the
+			// reclaimed entries actually return memory.
+			fresh := make(map[ikey]Expr, len(s.m))
+			for k, e := range s.m {
+				fresh[k] = e
+			}
+			s.m = fresh
+		}
+		s.mu.Unlock()
+		dropped += d
+	}
+	if dropped > 0 {
+		collectedTotal.Add(uint64(dropped))
+	}
+	return dropped
+}
+
+// StartInternCollector runs an opt-in background collector: every interval
+// it advances the epoch and collects entries untouched for keepEpochs
+// epochs, so each tick is one epoch window. The returned stop function
+// halts the collector and waits for it to exit. Services that already
+// advance the epoch per run (dise.WithInternGC) do not need this; it exists
+// for embedders with no natural run boundary.
+func StartInternCollector(interval time.Duration, keepEpochs int) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				AdvanceEpoch()
+				CollectInterned(keepEpochs)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// internEntryApproxBytes is the rough per-entry footprint used by
+// InternTableStats.ApproxBytes: the map key (ikey, ~64B), the map's bucket
+// overhead, the node struct and its header. An estimate for capacity
+// accounting, not an exact meter.
+const internEntryApproxBytes = 224
+
+// InternStats is a snapshot of the intern table for observability: live
+// entries, the cumulative built/collected counters, the current epoch, and
+// an approximate byte footprint.
+type InternStats struct {
+	Entries     int
+	ApproxBytes int64
+	Epoch       uint64
+	Interned    uint64
+	Collected   uint64
+}
+
+// InternTableStats snapshots the intern table. Shard sizes are read under
+// each shard's lock in turn, so the total is a consistent-enough figure for
+// metrics, not an atomic snapshot of the whole table.
+func InternTableStats() InternStats {
+	st := InternStats{
+		Epoch:     internEpoch.Load(),
+		Interned:  internedTotal.Load(),
+		Collected: collectedTotal.Load(),
+	}
+	for i := range internTab {
+		s := &internTab[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	st.ApproxBytes = int64(st.Entries) * internEntryApproxBytes
+	return st
 }
 
 func internInt(v int64) *IntConst {
@@ -433,5 +599,17 @@ var smallInt [smallIntHi - smallIntLo]*IntConst
 func init() {
 	for v := int64(smallIntLo); v < smallIntHi; v++ {
 		smallInt[v-smallIntLo] = internInt(v)
+	}
+	// Pin everything interned so far: at this point the table holds exactly
+	// the pre-interned constants (True/False/Zero/One from the package vars,
+	// smallInt from the loop above), whose constructors bypass the table and
+	// must therefore keep their entries forever.
+	for i := range internTab {
+		s := &internTab[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			e.header().epoch = pinnedEpoch
+		}
+		s.mu.Unlock()
 	}
 }

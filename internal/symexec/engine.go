@@ -153,6 +153,11 @@ type Engine struct {
 	// build time when Config.Memo is set (read-only thereafter; forks share
 	// it).
 	memoKeys map[int]string
+	// memoGen is the trie's step generation captured when the initial state
+	// is built; every trie node this run touches is stamped with it, which
+	// is what lets the trie's budget enforcement tell replayed/live nodes
+	// from retained-but-unmatched ones.
+	memoGen uint64
 	// stack mirrors the constraints currently asserted on the Backend, one
 	// frame per path-condition conjunct.
 	stack []sym.Expr
@@ -482,6 +487,7 @@ func (e *Engine) InitialState() *State {
 	}
 	s := &State{Node: e.Graph.Begin, Env: env, PC: nil, Trace: nil, model: model}
 	if e.config.Memo != nil {
+		e.memoGen = e.config.Memo.Gen()
 		s.memo = e.config.Memo.Root(e.memoKeys[e.Graph.Begin.ID])
 	}
 	return s
@@ -672,6 +678,7 @@ func (e *Engine) memoEnter(s *State) *memo.Node {
 		return nil
 	}
 	rec.Key = e.memoKeys[s.Node.ID]
+	rec.Touch(e.memoGen)
 	if rec.Expanded {
 		e.stats.MemoStatesReplayed++
 	} else {
@@ -698,6 +705,7 @@ func (e *Engine) memoLink(rec *memo.Node, feasible []*State, vias []int8, viaCon
 		if c == nil {
 			c = &memo.Node{Key: e.memoKeys[st.Node.ID], Via: vias[i], ViaCond: viaConds[i]}
 		}
+		c.Touch(e.memoGen)
 		attached[c] = true
 		succs = append(succs, c)
 		st.memo = c

@@ -112,7 +112,9 @@ func (a *Analyzer) NewSession(ctx context.Context, req SessionRequest) (*Session
 		prev:            v,
 		tree:            &memo.Tree{},
 	}
+	s.tree.SetNodeBudget(a.conf.memoNodeBudget)
 	if !req.SkipSeed {
+		s.tree.BeginStep()
 		cfgc := a.engineConfig(ctx)
 		cfgc.Memo = s.tree
 		engine, err := symexec.NewPrepared(v.prog, v.proc, v.graph, cfgc)
@@ -123,11 +125,22 @@ func (a *Analyzer) NewSession(ctx context.Context, req SessionRequest) (*Session
 		if err := engine.InterruptErr(); err != nil {
 			return nil, &Error{Kind: Cancelled, Err: err}
 		}
+		a.noteRunDone()
 		// A MaxStates-truncated seed is kept: every recorded verdict is a
 		// valid fact regardless of how far the seeding run got.
 		s.prevSig = engine.MemoSignature()
+		s.tree.Enforce()
 	}
 	return s, nil
+}
+
+// MemoUsage reports the session trie's current size: node count and the
+// approximate retained bytes (memo.Tree.Bytes). The service store sums it
+// across sessions to enforce a global trie-byte ceiling.
+func (s *Session) MemoUsage() (nodes int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Size(), s.tree.Bytes()
 }
 
 // Step returns how many Advance calls have completed successfully.
@@ -178,6 +191,10 @@ func (s *Session) Advance(ctx context.Context, nextSrc string) (*Result, error) 
 	} else {
 		kept, dropped = s.tree.Rekey(nodeCorrespondence(d))
 	}
+	// Advance the trie's step clock before the run: the engine stamps every
+	// node it touches with the new generation, so post-run budget
+	// enforcement can tell this step's working set from retained branches.
+	s.tree.BeginStep()
 
 	res, err := s.a.runJob(idise.Job{
 		BaseProc:  s.prev.proc,
@@ -195,6 +212,10 @@ func (s *Session) Advance(ctx context.Context, nextSrc string) (*Result, error) 
 	}
 
 	s.step++
+	// Hold the trie to its node budget (no-op when none is set) now that no
+	// engine holds trie pointers; evicted subtrees re-solve cold if a later
+	// version needs them again.
+	evicted := s.tree.Enforce()
 	st := res.internal.Summary.Stats
 	res.Stats.Memo = MemoStats{
 		Enabled:            true,
@@ -204,7 +225,9 @@ func (s *Session) Advance(ctx context.Context, nextSrc string) (*Result, error) 
 		StatesExploredLive: st.MemoStatesLive,
 		NodesKept:          kept,
 		NodesInvalidated:   dropped,
+		NodesEvicted:       evicted,
 		TrieNodes:          s.tree.Size(),
+		TrieBytes:          s.tree.Bytes(),
 	}
 	s.prev = next
 	s.prevSig = sig
