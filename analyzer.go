@@ -67,6 +67,8 @@ type analyzerConfig struct {
 	memoNodeBudget   int
 	internGCEpochs   int
 	cacheBytes       int64
+	mergeBound       int
+	mergeBudget      int
 }
 
 // Option configures an Analyzer (functional options).
@@ -157,6 +159,43 @@ func WithInternGC(keepEpochs int) Option {
 // capacities. Zero (the default) applies no byte bound.
 func WithCacheByteBudget(n int64) Option {
 	return func(c *analyzerConfig) { c.cacheBytes = n }
+}
+
+// MergeUnbounded selects unlimited fusion at join points for
+// WithStateMerging: every mergeable sibling set is collapsed whole.
+const MergeUnbounded = symexec.MergeUnbounded
+
+// WithStateMerging enables bounded state merging: at control-flow join
+// points, sibling states whose environments differ only in value bindings
+// are fused into one state whose environment maps each divergent name to an
+// ite expression and whose path condition factors the siblings' branch
+// constraints into a disjunction. This collapses the path explosion of
+// independent diamond chains — k sequential diamonds explore O(k) merged
+// states instead of O(2^k) paths — at the price of richer (ite/disjunction)
+// constraints per solver call.
+//
+// bound caps how many sibling states one fusion may absorb: 0 disables
+// merging (the default), MergeUnbounded fuses every mergeable set whole, and
+// bound >= 2 fuses in chunks of at most bound states. A bound of 1 (a
+// "merge" of one state) is rejected with Kind InvalidConfig.
+//
+// Merged runs are verdict-equivalent to unmerged ones — identical affected
+// branch coverage and identical per-branch test-generation feasibility —
+// but not byte-identical: path conditions arrive factored through joins, so
+// reported path sets are coarser. State merging is incompatible with
+// version-chain sessions (NewSession), whose memo trie is keyed by per-path
+// conjunctions; an Analyzer configured with both fails with Kind
+// InvalidConfig.
+func WithStateMerging(bound int) Option {
+	return func(c *analyzerConfig) { c.mergeBound = bound }
+}
+
+// WithMergeBudget caps how many fusion operations one request may perform
+// under WithStateMerging (0 = unlimited). Once the budget is spent the run
+// degenerates gracefully to per-path exploration for the remaining states —
+// coverage is unaffected, only how much of the explosion is collapsed.
+func WithMergeBudget(n int) Option {
+	return func(c *analyzerConfig) { c.mergeBudget = n }
 }
 
 // WithSearchStrategy selects the exploration scheduler's search strategy by
@@ -255,6 +294,8 @@ func (a *Analyzer) engineConfig(ctx context.Context) symexec.Config {
 		SolverCache:        a.solverCache,
 		Strategy:           a.conf.searchStrategy,
 		ExploreParallelism: a.conf.exploreWorkers,
+		MergeBound:         a.conf.mergeBound,
+		MergeBudget:        a.conf.mergeBudget,
 	}
 	if a.conf.intDomain != nil {
 		cfg.IntDomain = solver.Interval{Lo: a.conf.intDomain[0], Hi: a.conf.intDomain[1]}
@@ -282,6 +323,13 @@ type Request struct {
 	// inline package). Requires an acyclic call graph and single-exit
 	// callees.
 	Interprocedural bool
+	// MergeBound, when non-zero, overrides the Analyzer's WithStateMerging
+	// bound for this request alone (MergeUnbounded = unlimited fusion at
+	// joins). It lets a service expose state merging per request while
+	// sharing one Analyzer — and one parse/CFG and solved-prefix cache —
+	// across merged and unmerged traffic. The bound is validated like the
+	// option: 1 or values below MergeUnbounded fail with Kind InvalidConfig.
+	MergeBound int
 }
 
 // Analyze runs the full DiSE pipeline — diff, affected locations, directed
@@ -351,7 +399,10 @@ func (a *Analyzer) resolveVersion(src, procName, stage string, interprocedural, 
 
 // runJob executes a prepared directed-analysis job and converts the outcome
 // into the public Result, classifying interrupts and budget trips.
-func (a *Analyzer) runJob(job idise.Job, modProg *ast.Program, procName string) (*Result, error) {
+// resultCfg is the context-free engine configuration the run actually used
+// (per-request overrides like Request.MergeBound included); it feeds the
+// stats echo and later test generation.
+func (a *Analyzer) runJob(job idise.Job, resultCfg symexec.Config, modProg *ast.Program, procName string) (*Result, error) {
 	defer a.noteRunDone()
 	res := idise.Run(job)
 	if err := job.Engine.InterruptErr(); err != nil {
@@ -361,12 +412,12 @@ func (a *Analyzer) runJob(job idise.Job, modProg *ast.Program, procName string) 
 		return nil, &Error{Kind: BudgetExhausted}
 	}
 	out := &Result{
-		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths), a.resultConfig()),
+		Stats:                    statsOf(res.Summary.Stats, len(res.Summary.Paths), resultCfg),
 		ChangedNodes:             res.Affected.ChangedNodes,
 		AffectedConditionalLines: res.Affected.ACNLines(),
 		AffectedWriteLines:       res.Affected.AWNLines(),
 		internal:                 res,
-		config:                   a.resultConfig(),
+		config:                   resultCfg,
 		modProg:                  modProg,
 		procName:                 procName,
 	}
@@ -390,10 +441,16 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo
 		return nil, err
 	}
 
+	cfgc := a.engineConfig(ctx)
+	resultCfg := a.resultConfig()
+	if req.MergeBound != 0 {
+		cfgc.MergeBound = req.MergeBound
+		resultCfg.MergeBound = req.MergeBound
+	}
 	// CheckNoCalls already validated the procedure, so a construction
 	// failure here means the engine configuration itself is unusable
-	// (e.g. an unknown solver backend name).
-	engine, err := symexec.NewPrepared(mod.prog, mod.proc, mod.graph, a.engineConfig(ctx))
+	// (e.g. an unknown solver backend name or a bad merge bound).
+	engine, err := symexec.NewPrepared(mod.prog, mod.proc, mod.graph, cfgc)
 	if err != nil {
 		return nil, errKind(InvalidConfig, "", err)
 	}
@@ -409,7 +466,7 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, yield func(PathInfo
 		Engine:    engine,
 		Opts:      idise.Options{TransitiveWrites: a.conf.transitiveWrites},
 		OnPath:    onPath,
-	}, mod.prog, req.Proc)
+	}, resultCfg, mod.prog, req.Proc)
 }
 
 // AnalyzeInterprocedural runs DiSE over a whole multi-procedure program:

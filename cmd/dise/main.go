@@ -7,7 +7,12 @@
 //
 //	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
 //	     [-timeout D] [-solver interval|bitvec] [-strategy dfs|bfs|directed]
-//	     [-explore-parallelism N]
+//	     [-explore-parallelism N] [-merge-bound N]
+//
+// -merge-bound enables bounded state merging (0 = off, -1 = unbounded,
+// >= 2 = fuse at most N sibling states per join). Merged runs report
+// verdict-equivalent but coarser path sets — see the README's "State
+// merging" section. Not available in chain mode.
 //
 // -timeout bounds the whole run (pairwise or chain): on expiry the analysis
 // stops at the next cancellation point and the command reports the Cancelled
@@ -57,6 +62,7 @@ func main() {
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
 	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
+	mergeBound := flag.Int("merge-bound", 0, "bounded state merging at CFG joins: 0 = off, -1 = unbounded, >= 2 = fuse at most N siblings per merge (incompatible with -chain/-artifact)")
 	chain := flag.String("chain", "", "comma-separated version files: run a version-chain session over them in order")
 	artifact := flag.String("artifact", "", "run the built-in evolution chain of an artifact (asw, wbs or oae)")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this long, reporting the Cancelled kind (0 = no timeout)")
@@ -77,6 +83,11 @@ func main() {
 		}
 		if *tests {
 			exitOn(fmt.Errorf("-tests is not supported in chain mode"))
+		}
+		if *mergeBound != 0 {
+			// Sessions would reject it anyway (InvalidConfig); fail with a
+			// flag-level message instead of a session error.
+			exitOn(fmt.Errorf("-merge-bound is not supported in chain mode: state merging is incompatible with memoized sessions"))
 		}
 		runChain(ctx0, chainConfig{
 			chain:              *chain,
@@ -113,6 +124,7 @@ func main() {
 		dise.WithSolverBackend(*solverName),
 		dise.WithSearchStrategy(*strategy),
 		dise.WithExploreParallelism(*exploreParallelism),
+		dise.WithStateMerging(*mergeBound),
 	)
 	res, err := a.Analyze(ctx, dise.Request{
 		BaseSrc: string(baseSrc),
@@ -153,6 +165,10 @@ func main() {
 	ss := res.Stats.Solver
 	fmt.Printf("solver [%s]:    %d checks (%d sat / %d unsat / %d unknown), %d frames pushed, %d cache hits, %d model reuses\n",
 		ss.Backend, ss.Checks, ss.Sat, ss.Unsat, ss.Unknown, ss.PushedFrames, ss.CacheHits, ss.ModelReuses)
+	if ms := res.Stats.Merge; ms.Enabled {
+		fmt.Printf("state merging:        bound %d · %d merges · %d states saved · %d ite nodes\n",
+			ms.Bound, ms.Merges, ms.MergedStatesSaved, ms.IteNodes)
+	}
 	fmt.Printf("time:                 %dms\n", res.Stats.TimeMilliseconds)
 	fmt.Printf("affected path conditions: %d\n", len(res.Paths))
 	for i, p := range res.Paths {

@@ -12,7 +12,7 @@
 //	      [-solver NAME] [-strategy NAME] [-depth N] [-max-states N]
 //	      [-explore-parallelism N]
 //	      [-max-trie-nodes N] [-max-trie-bytes N] [-intern-gc-epochs N]
-//	      [-cache-bytes N]
+//	      [-cache-bytes N] [-merge-bound N]
 //
 // SIGINT/SIGTERM shut the server down gracefully (in-flight requests get
 // -shutdown-grace to finish).
@@ -54,7 +54,14 @@ func main() {
 	maxTrieBytes := flag.Int64("max-trie-bytes", 0, "global ceiling on all resident sessions' memo-trie bytes; LRU sessions are evicted under pressure (0 = unbounded)")
 	internGCEpochs := flag.Int("intern-gc-epochs", 0, "collect intern-table entries untouched for this many completed runs (0 = collection off)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "approximate byte budget shared by the parse/CFG and solved-prefix caches (0 = entry-count bounds only)")
+	mergeBound := flag.Int("merge-bound", 0, "default bounded state merging for one-shot /v1/analyze requests without a merge_bound (0 = off, -1 = unbounded, >= 2 = bounded); sessions never merge")
 	flag.Parse()
+
+	if *mergeBound == 1 || *mergeBound < -1 {
+		fmt.Fprintf(os.Stderr, "dised: %v: -merge-bound %d out of range (0 = off, -1 = unbounded, >= 2 = bounded)\n",
+			dise.ErrInvalidConfig, *mergeBound)
+		os.Exit(2)
+	}
 
 	// The memory bounds are validated up front: a negative bound is the same
 	// class of unusable configuration as an unknown solver backend, so it
@@ -88,6 +95,7 @@ func main() {
 		MaxTrieBytes:         *maxTrieBytes,
 		InternGCEpochs:       *internGCEpochs,
 		CacheBytes:           *cacheBytes,
+		DefaultMergeBound:    *mergeBound,
 		AnalyzerOptions: []dise.Option{
 			dise.WithDepthBound(*depth),
 			dise.WithMaxStates(*maxStates),

@@ -12,8 +12,12 @@
 //
 //	disedload -addr HOST:PORT [-chains N] [-workers N] [-tenants N]
 //	          [-mix artifacts|rand|both] [-steps N] [-seed N]
-//	          [-deadline-ms N] [-delete] [-out FILE]
+//	          [-deadline-ms N] [-delete] [-merge-bound N] [-out FILE]
 //	disedload -addr HOST:PORT -smoke
+//
+// -merge-bound switches the drive from session chains to one-shot
+// /v1/analyze requests carrying merge_bound (state merging) over each
+// adjacent version pair — sessions reject the merging mode.
 //
 // -smoke runs the CI smoke sequence instead of a load: create one session,
 // advance it twice, and assert over /healthz and /metrics that the store
@@ -50,6 +54,7 @@ func main() {
 	steps := flag.Int("steps", 6, "steps per random chain")
 	seed := flag.Int64("seed", 1, "random-chain generator seed")
 	deadlineMillis := flag.Int64("deadline-ms", 0, "per-request deadline_ms to send (0 = server default)")
+	mergeBound := flag.Int("merge-bound", 0, "drive one-shot /v1/analyze requests with this merge_bound instead of sessions (0 = session mode, -1 = unbounded, >= 2 = bounded)")
 	doDelete := flag.Bool("delete", false, "delete each session after its chain (default: leave resident, for sessions-per-GB measurement)")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	flag.Parse()
@@ -78,6 +83,7 @@ func main() {
 		seed:           *seed,
 		deadlineMillis: *deadlineMillis,
 		doDelete:       *doDelete,
+		mergeBound:     *mergeBound,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "disedload:", err)
@@ -228,6 +234,11 @@ type loadConfig struct {
 	seed                            int64
 	deadlineMillis                  int64
 	doDelete                        bool
+	// mergeBound != 0 switches the drive from session chains to one-shot
+	// /v1/analyze requests with merge_bound set on every pair of adjacent
+	// versions — the service path that exercises state merging under load
+	// (sessions reject the mode).
+	mergeBound int
 }
 
 // buildChains materializes the chain workload: artifact chains round-robin,
@@ -340,6 +351,7 @@ type Report struct {
 		Tenants        int    `json:"tenants"`
 		Mix            string `json:"mix"`
 		DeadlineMillis int64  `json:"deadline_ms"`
+		MergeBound     int    `json:"merge_bound,omitempty"`
 	} `json:"config"`
 	WallMillis    int64                    `json:"wall_ms"`
 	Requests      int64                    `json:"requests"`
@@ -380,6 +392,7 @@ func runLoad(client *http.Client, base string, cfg loadConfig) (*Report, error) 
 	report.Config.Tenants = cfg.tenants
 	report.Config.Mix = cfg.mix
 	report.Config.DeadlineMillis = cfg.deadlineMillis
+	report.Config.MergeBound = cfg.mergeBound
 	report.WallMillis = wall.Milliseconds()
 	rec.mu.Lock()
 	report.Requests = rec.requests
@@ -402,8 +415,28 @@ func runLoad(client *http.Client, base string, cfg loadConfig) (*Report, error) 
 // driveChain runs one chain end to end: create, advance through every
 // version, optionally delete. A failed create (cap, overload, deadline)
 // abandons the chain; a failed advance abandons the rest of it (the
-// session's chain position is unknown after an error).
+// session's chain position is unknown after an error). With -merge-bound
+// set the chain is driven as one-shot merged analyses of each adjacent
+// version pair instead — sessions reject state merging.
 func driveChain(client *http.Client, base string, spec chainSpec, tenant string, cfg loadConfig, rec *recorder) {
+	if cfg.mergeBound != 0 {
+		for i := 1; i < len(spec.versions); i++ {
+			start := time.Now()
+			err := postJSON(client, base+"/v1/analyze", service.AnalyzeRequest{
+				Tenant:         tenant,
+				BaseSrc:        spec.versions[i-1],
+				ModSrc:         spec.versions[i],
+				Proc:           spec.proc,
+				MergeBound:     cfg.mergeBound,
+				DeadlineMillis: cfg.deadlineMillis,
+			}, nil)
+			rec.observe("analyze", time.Since(start), err)
+			if err != nil {
+				return
+			}
+		}
+		return
+	}
 	var created service.CreateSessionResponse
 	start := time.Now()
 	err := postJSON(client, base+"/v1/sessions", service.CreateSessionRequest{

@@ -26,6 +26,7 @@ package dise
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"dise/internal/artifacts"
@@ -124,6 +125,34 @@ type Stats struct {
 	// Memo reports the execution-tree reuse of a version-chain session
 	// (Session.Advance); it is zero for one-shot Analyze calls.
 	Memo MemoStats `json:"memo_stats"`
+	// Merge reports the join-point state fusion of a bounded-state-merging
+	// run (WithStateMerging); it is zero when merging is disabled.
+	Merge MergeStats `json:"merge_stats"`
+}
+
+// MarshalJSON omits the solver/memo/merge observability sub-blocks uniformly
+// when they carry no data: a block equal to its zero value disappears from
+// the output instead of serializing as a tree of zeros. The struct tags
+// alone cannot express this — encoding/json's omitempty never applies to
+// struct-typed fields — so the zero checks live here.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	type alias Stats // method-free copy: avoids recursing into MarshalJSON
+	out := struct {
+		alias
+		Solver *SolverStats `json:"solver_stats,omitempty"`
+		Memo   *MemoStats   `json:"memo_stats,omitempty"`
+		Merge  *MergeStats  `json:"merge_stats,omitempty"`
+	}{alias: alias(s)}
+	if s.Solver != (SolverStats{}) {
+		out.Solver = &s.Solver
+	}
+	if s.Memo != (MemoStats{}) {
+		out.Memo = &s.Memo
+	}
+	if s.Merge != (MergeStats{}) {
+		out.Merge = &s.Merge
+	}
+	return json.Marshal(out)
 }
 
 // MemoStats is the observability block of a version-chain session step: how
@@ -158,6 +187,40 @@ type MemoStats struct {
 	// approximate retained footprint (memo.Tree.Bytes).
 	TrieNodes int   `json:"trie_nodes"`
 	TrieBytes int64 `json:"trie_bytes"`
+}
+
+// MergeStats is the observability block of bounded state merging
+// (WithStateMerging): how many join-point fusions the run performed and how
+// much exploration they collapsed. Like the solver counters these are cost
+// observability, not outcome — a merged run covers the same affected
+// branches and keeps every path condition solvable (the verdict-equivalence
+// gate, see internal/symexec/merge.go).
+type MergeStats struct {
+	// Enabled distinguishes a merged run from the default per-path mode.
+	Enabled bool `json:"enabled"`
+	// Bound echoes the configured merge bound (MergeUnbounded = fuse every
+	// mergeable sibling set whole; >= 2 = fuse in chunks of at most Bound).
+	Bound int `json:"bound"`
+	// Merges counts join-point fusion operations; each fusion of k sibling
+	// states contributes k-1 to MergedStatesSaved.
+	Merges            int `json:"merges"`
+	MergedStatesSaved int `json:"merged_states_saved"`
+	// IteNodes counts the ite expressions interned while fusing divergent
+	// environment bindings — the footprint merging trades exploration for.
+	IteNodes int `json:"ite_nodes"`
+}
+
+// Add accumulates one run's merge counters into an aggregate. Enabled is a
+// disjunction, Bound keeps the first enabled sample's value, the counters
+// sum.
+func (m *MergeStats) Add(o MergeStats) {
+	if o.Enabled && !m.Enabled {
+		m.Enabled = true
+		m.Bound = o.Bound
+	}
+	m.Merges += o.Merges
+	m.MergedStatesSaved += o.MergedStatesSaved
+	m.IteNodes += o.IteNodes
 }
 
 // SolverStats is the observability block of the constraint subsystem: how
@@ -243,12 +306,23 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.Solver.Add(o.Solver)
 	s.Memo.Add(o.Memo)
+	s.Merge.Add(o.Merge)
 }
 
 func statsOf(s symexec.Stats, pcs int, cfg symexec.Config) Stats {
 	// Echo the values the scheduler resolved, not the raw config.
 	strategy := cfg.ResolvedStrategy()
 	workers := cfg.ResolvedExploreParallelism()
+	var merge MergeStats
+	if cfg.MergeBound != 0 {
+		merge = MergeStats{
+			Enabled:           true,
+			Bound:             cfg.MergeBound,
+			Merges:            s.Merges,
+			MergedStatesSaved: s.MergedStatesSaved,
+			IteNodes:          s.IteNodes,
+		}
+	}
 	return Stats{
 		StatesExplored:     s.StatesExplored,
 		PathConditions:     pcs,
@@ -272,6 +346,7 @@ func statsOf(s symexec.Stats, pcs int, cfg symexec.Config) Stats {
 			FullSolves:    s.Solver.FullSolves,
 			FrameMemoHits: s.Solver.FrameMemoHits,
 		},
+		Merge: merge,
 	}
 }
 

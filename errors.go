@@ -119,6 +119,12 @@ var (
 	ErrInvalidConfig   error = &Error{Kind: InvalidConfig}
 )
 
+// errMergeSession is the cause of the InvalidConfig error NewSession returns
+// for an Analyzer configured with WithStateMerging: session memo tries
+// record solver verdicts keyed by per-path conjunctions, which merging
+// replaces with factored disjunctions.
+var errMergeSession = errors.New("state merging (WithStateMerging) is incompatible with version-chain sessions")
+
 // KindOf extracts the ErrorKind of err, unwrapping as errors.As does. It
 // returns 0 for nil and for errors that are not classified *dise.Errors.
 func KindOf(err error) ErrorKind {

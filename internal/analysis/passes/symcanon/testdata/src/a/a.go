@@ -13,6 +13,23 @@ func bad() sym.Expr {
 	return b
 }
 
+// Bad: a raw ite node. Canonical Ite nodes are fixed points of the ITE
+// constructor's folds (constant guards select an arm, equal arms collapse),
+// so a raw literal can even denote a shape the constructor would never
+// build — it must go through sym.ITE.
+func badIte() sym.Expr {
+	cond := sym.Add(sym.V("x"), sym.Int(0))
+	ite := &sym.Ite{Cond: cond, Then: sym.Int(1), Else: sym.Int(2)} // want "sym.Ite built via struct literal"
+	m := new(sym.Ite)                                               // want "sym.Ite built via new()"
+	_ = m
+	return ite
+}
+
+// Good: the ITE smart constructor.
+func goodIte() sym.Expr {
+	return sym.ITE(sym.V("c"), sym.Int(1), sym.Int(2))
+}
+
 // Good: smart constructors, and literals of non-node sym types.
 func good() sym.Expr {
 	meta := sym.NotANode{X: 3}

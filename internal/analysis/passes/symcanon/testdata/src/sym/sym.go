@@ -23,9 +23,15 @@ type Bin struct {
 	L, R Expr
 }
 
+// Ite is an if-then-else node — the shape bounded state merging introduces.
+type Ite struct {
+	Cond, Then, Else Expr
+}
+
 func (*IntConst) exprNode() {}
 func (*Var) exprNode()      {}
 func (*Bin) exprNode()      {}
+func (*Ite) exprNode()      {}
 
 // NotANode is declared in sym but is not an expression node: literals of it
 // are fine anywhere.
@@ -41,3 +47,7 @@ func V(name string) *Var { return &Var{Name: name} }
 
 // Add is a smart constructor.
 func Add(l, r Expr) Expr { return &Bin{Op: 0, L: l, R: r} }
+
+// ITE is the smart constructor for Ite (the real one simplifies and interns;
+// a raw &Ite{...} skips both, which is exactly what symcanon flags).
+func ITE(c, t, e Expr) Expr { return &Ite{Cond: c, Then: t, Else: e} }

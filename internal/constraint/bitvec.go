@@ -264,6 +264,12 @@ func (b *bitvecBackend) transBoolAtom(e sym.Expr) *BVExpr {
 		return b.bld.Ne(b.bld.Var(ex.Name), b.bld.Const(0))
 	case *sym.Not:
 		return b.bld.BoolNot(b.transBoolAtom(ex.X))
+	case *sym.Ite:
+		// A boolean-typed ite in constraint position: (c && t) || (!c && e).
+		c := b.transBoolAtom(ex.Cond)
+		return b.bld.BoolOr(
+			b.bld.BoolAnd(c, b.transBoolAtom(ex.Then)),
+			b.bld.BoolAnd(b.bld.BoolNot(c), b.transBoolAtom(ex.Else)))
 	case *sym.Bin:
 		switch {
 		case ex.Op == sym.OpAnd:
@@ -314,6 +320,8 @@ func (b *bitvecBackend) transBV(e sym.Expr) *BVExpr {
 		out = b.bld.Var(ex.Name)
 	case *sym.Neg:
 		out = b.bld.Neg(b.transBV(ex.X))
+	case *sym.Ite:
+		out = b.bld.Ite(b.transBoolAtom(ex.Cond), b.transBV(ex.Then), b.transBV(ex.Else))
 	case *sym.Not:
 		out = b.transBoolAtom(e) // 0/1-valued
 	case *sym.Bin:
@@ -644,6 +652,20 @@ func (p *bvProblem) absEval(e *BVExpr, dom map[string]solver.Interval) solver.In
 			return d
 		}
 		return p.full()
+	case BVIte:
+		// Guard-aware: a decided guard (its 0/1 truth interval is a
+		// singleton) selects one arm's bounds, an undecided one yields the
+		// hull of both arms. Handled before the generic L/R path — the
+		// ternary shape has no evalNode form.
+		c := p.absEval(e.C, dom)
+		switch {
+		case c.Lo == 1:
+			return p.absEval(e.L, dom)
+		case c.Hi == 0:
+			return p.absEval(e.R, dom)
+		}
+		t, f := p.absEval(e.L, dom), p.absEval(e.R, dom)
+		return solver.Interval{Lo: min2(t.Lo, f.Lo), Hi: max2(t.Hi, f.Hi)}
 	}
 	l := p.absEval(e.L, dom)
 	var r solver.Interval
@@ -887,6 +909,7 @@ func bvVars(e *BVExpr) []string {
 		if e.Op == BVVar {
 			set[e.Name] = true
 		}
+		walk(e.C)
 		walk(e.L)
 		walk(e.R)
 	}

@@ -34,6 +34,7 @@ const (
 	BVNotBits
 	BVShl
 	BVLshr
+	BVIte // ite(C, L, R): W-bit conditional on a boolean guard
 
 	BVBoolConst
 	BVEq
@@ -67,6 +68,7 @@ func (o BVOp) IsBool() bool { return o >= BVBoolConst }
 type BVExpr struct {
 	Op   BVOp
 	L, R *BVExpr // R nil for unary ops; both nil for leaves
+	C    *BVExpr // BVIte only: the boolean guard (L = then, R = else)
 	Val  uint64  // BVConst (masked to width) and BVBoolConst (0/1)
 	Name string  // BVVar
 	id   int
@@ -86,6 +88,8 @@ func (e *BVExpr) String() string {
 		return e.Name
 	case BVNeg, BVNotBits, BVBoolNot:
 		return bvOpNames[e.Op] + "(" + e.L.String() + ")"
+	case BVIte:
+		return "ite(" + e.C.String() + ", " + e.L.String() + ", " + e.R.String() + ")"
 	default:
 		return "(" + e.L.String() + " " + bvOpNames[e.Op] + " " + e.R.String() + ")"
 	}
@@ -236,6 +240,25 @@ func (b *Builder) BoolAnd(l, r *BVExpr) *BVExpr { return b.node(BVBoolAnd, l, r)
 func (b *Builder) BoolOr(l, r *BVExpr) *BVExpr  { return b.node(BVBoolOr, l, r) }
 func (b *Builder) BoolNot(x *BVExpr) *BVExpr    { return b.node(BVBoolNot, x, nil) }
 
+// Ite builds the W-bit conditional ite(c, t, e): t when the boolean term c
+// is true, e otherwise. A constant guard folds to the selected arm; equal
+// arms collapse. It does not go through node() — the ternary shape needs its
+// own intern key and never constant-folds via evalNode.
+func (b *Builder) Ite(c, t, e *BVExpr) *BVExpr {
+	if c.Op == BVBoolConst {
+		if c.Val != 0 {
+			return t
+		}
+		return e
+	}
+	if t == e {
+		return t
+	}
+	return b.intern(fmt.Sprintf("i%d:%d:%d", c.id, t.id, e.id), func() *BVExpr {
+		return &BVExpr{Op: BVIte, C: c, L: t, R: e}
+	})
+}
+
 // Eval evaluates the term concretely under env (masked W-bit values per
 // variable). Boolean terms evaluate to 0/1. Division or remainder by zero
 // returns an error — the corresponding concrete execution would trap, so
@@ -266,6 +289,15 @@ func (b *Builder) Eval(e *BVExpr, env map[string]uint64) (uint64, error) {
 		}
 		if l != 0 {
 			return 1, nil
+		}
+		return b.Eval(e.R, env)
+	case BVIte:
+		c, err := b.Eval(e.C, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return b.Eval(e.L, env)
 		}
 		return b.Eval(e.R, env)
 	}

@@ -235,6 +235,17 @@ func (r *Runner) collect(s *symexec.State) {
 			break
 		}
 	}
+	// A merged state's trace continues one representative sibling; the other
+	// constituents' footprints live in Cover (state merging,
+	// internal/symexec/merge.go) and count toward affectedness the same way.
+	if !affected {
+		for _, id := range s.Cover {
+			if r.Affected.Contains(id) {
+				affected = true
+				break
+			}
+		}
+	}
 	if !affected {
 		r.PruneStats.UnaffectedPaths++
 		return

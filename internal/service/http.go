@@ -24,7 +24,12 @@ type AnalyzeRequest struct {
 	ModSrc          string `json:"mod_src"`
 	Proc            string `json:"proc"`
 	Interprocedural bool   `json:"interprocedural,omitempty"`
-	DeadlineMillis  int64  `json:"deadline_ms,omitempty"`
+	// MergeBound enables bounded state merging for this request alone
+	// (0 = off, -1 = unbounded, >= 2 = fuse at most N siblings per join).
+	// One-shot analyses only: session endpoints reject merging, whose
+	// factored path conditions the memo trie cannot key.
+	MergeBound     int   `json:"merge_bound,omitempty"`
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // CreateSessionRequest is the body of POST /v1/sessions. Unless SkipSeed is
@@ -207,6 +212,13 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			"tenant": req.Tenant, "base_src": req.BaseSrc, "mod_src": req.ModSrc, "proc": req.Proc,
 		})
 	}
+	// A bad merge bound is client input, not server misconfiguration:
+	// reject it here as 400 instead of letting the engine's InvalidConfig
+	// surface as 500.
+	if err == nil && (req.MergeBound == 1 || req.MergeBound < -1) {
+		err = fmt.Errorf("%w: merge_bound %d out of range (0 = off, -1 = unbounded, >= 2 = bounded)",
+			errBadRequest, req.MergeBound)
+	}
 	if err != nil {
 		s.fail(w, "analyze", start, err)
 		return
@@ -217,11 +229,16 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	mergeBound := req.MergeBound
+	if mergeBound == 0 {
+		mergeBound = s.cfg.DefaultMergeBound
+	}
 	res, err := s.analyzer.Analyze(ctx, dise.Request{
 		BaseSrc:         req.BaseSrc,
 		ModSrc:          req.ModSrc,
 		Proc:            req.Proc,
 		Interprocedural: req.Interprocedural,
+		MergeBound:      mergeBound,
 	})
 	if err != nil {
 		s.fail(w, "analyze", start, err)

@@ -357,3 +357,69 @@ func TestServiceNoGoroutineLeaks(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestServiceAnalyzeMergeBound pins the state-merging surface of the one-shot
+// endpoint: merge_bound flows through to the engine (the reply's merge_stats
+// block is populated), invalid bounds are the client's fault (400, not the
+// InvalidConfig 500), the server-side default applies only when the request
+// names no bound, and the cumulative /metrics dashboard aggregates the
+// merge counters.
+func TestServiceAnalyzeMergeBound(t *testing.T) {
+	proc, srcs := wbsChain()
+	req := AnalyzeRequest{Tenant: "t1", BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}
+
+	_, srv := newTestServer(t, Config{})
+	var res ResultPayload
+	if status, _ := post(t, srv.Client(), srv.URL+"/v1/analyze", req, &res); status != http.StatusOK {
+		t.Fatalf("plain analyze: status %d", status)
+	}
+	if res.Stats.Merge.Enabled {
+		t.Fatalf("plain analyze reports merging: %+v", res.Stats.Merge)
+	}
+
+	merged := req
+	merged.MergeBound = dise.MergeUnbounded
+	if status, _ := post(t, srv.Client(), srv.URL+"/v1/analyze", merged, &res); status != http.StatusOK {
+		t.Fatalf("merged analyze: status %d", status)
+	}
+	if !res.Stats.Merge.Enabled || res.Stats.Merge.Bound != dise.MergeUnbounded {
+		t.Fatalf("merge_stats not populated: %+v", res.Stats.Merge)
+	}
+
+	bad := req
+	bad.MergeBound = 1
+	if status, code := post(t, srv.Client(), srv.URL+"/v1/analyze", bad, nil); status != http.StatusBadRequest || code != "bad_request" {
+		t.Fatalf("merge_bound 1: status %d code %q, want 400 bad_request", status, code)
+	}
+
+	var metrics Metrics
+	getJSON(t, srv.Client(), srv.URL+"/metrics", &metrics)
+	if !metrics.MergeStats.Enabled {
+		t.Fatalf("cumulative merge_stats not aggregated: %+v", metrics.MergeStats)
+	}
+
+	// A server default applies when the request names no bound; sessions on
+	// the same server still work (the default never reaches them).
+	_, srvDef := newTestServer(t, Config{DefaultMergeBound: 2})
+	if status, _ := post(t, srvDef.Client(), srvDef.URL+"/v1/analyze", req, &res); status != http.StatusOK {
+		t.Fatalf("default-merge analyze: status %d", status)
+	}
+	if !res.Stats.Merge.Enabled || res.Stats.Merge.Bound != 2 {
+		t.Fatalf("server default not applied: %+v", res.Stats.Merge)
+	}
+	var created CreateSessionResponse
+	if status, _ := post(t, srvDef.Client(), srvDef.URL+"/v1/sessions",
+		CreateSessionRequest{Tenant: "t1", InitialSrc: srcs[0], Proc: proc}, &created); status != http.StatusCreated {
+		t.Fatalf("session create on default-merge server: status %d", status)
+	}
+	// Fresh payload: a zero merge_stats block is omitted on the wire, so
+	// decoding into the reused struct would keep the previous reply's values.
+	var advRes ResultPayload
+	if status, _ := post(t, srvDef.Client(), srvDef.URL+"/v1/sessions/"+created.SessionID+"/advance",
+		AdvanceRequest{Tenant: "t1", NextSrc: srcs[1]}, &advRes); status != http.StatusOK {
+		t.Fatalf("session advance on default-merge server: status %d", status)
+	}
+	if advRes.Stats.Merge.Enabled {
+		t.Fatalf("session step reports merging: %+v", advRes.Stats.Merge)
+	}
+}

@@ -171,11 +171,15 @@ type Metrics struct {
 	Requests map[string]int64 `json:"requests"`
 	Errors   map[string]int64 `json:"errors"`
 
-	// SolverStats and MemoStats are the cumulative per-run statistics of
-	// every successful analysis, aggregated via dise.Stats.Add; ParseCache
-	// and PrefixCache snapshot the two cross-tenant shared caches.
+	// SolverStats, MemoStats and MergeStats are the cumulative per-run
+	// statistics of every successful analysis, aggregated via
+	// dise.Stats.Add; ParseCache and PrefixCache snapshot the two
+	// cross-tenant shared caches. Unlike per-run Stats — whose zero-valued
+	// sub-blocks are omitted uniformly — the cumulative dashboard always
+	// carries all three blocks, so collectors see a stable shape.
 	SolverStats dise.SolverStats `json:"solver_stats"`
 	MemoStats   dise.MemoStats   `json:"memo_stats"`
+	MergeStats  dise.MergeStats  `json:"merge_stats"`
 	Totals      struct {
 		StatesExplored     int   `json:"states_explored"`
 		PathConditions     int   `json:"path_conditions"`
@@ -246,6 +250,7 @@ func (s *Service) snapshot() Metrics {
 
 	out.SolverStats = totals.Solver
 	out.MemoStats = totals.Memo
+	out.MergeStats = totals.Merge
 	out.Totals.StatesExplored = totals.StatesExplored
 	out.Totals.PathConditions = totals.PathConditions
 	out.Totals.InfeasibleBranches = totals.InfeasibleBranches

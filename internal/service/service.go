@@ -74,6 +74,12 @@ type Config struct {
 	// approximately this many retained bytes in total
 	// (dise.WithCacheByteBudget). 0 = entry-count bounds only.
 	CacheBytes int64
+	// DefaultMergeBound applies bounded state merging to one-shot
+	// /v1/analyze requests that carry no merge_bound of their own
+	// (0 = off, dise.MergeUnbounded = unbounded, >= 2 = bounded). Session
+	// endpoints are unaffected: merging is incompatible with memoized
+	// version chains, so it is never a session default.
+	DefaultMergeBound int
 	// AnalyzerOptions configures the shared Analyzer (solver backend,
 	// search strategy, bounds, cache capacities).
 	AnalyzerOptions []dise.Option

@@ -187,6 +187,15 @@ func EvalInt01(e sym.Expr, env map[string]int64) (int64, error) {
 	case *sym.Neg:
 		v, err := EvalInt01(e.X, env)
 		return -v, err
+	case *sym.Ite:
+		c, err := EvalInt01(e.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return EvalInt01(e.Then, env)
+		}
+		return EvalInt01(e.Else, env)
 	case *sym.Not:
 		v, err := EvalInt01(e.X, env)
 		if err != nil {
@@ -512,6 +521,18 @@ func (p *problem) evalIv(e sym.Expr, domains []Interval) Interval {
 		return Full
 	case *sym.Neg:
 		return negIv(p.evalIv(e.X, domains))
+	case *sym.Ite:
+		// Guard-aware bounds: a decided guard selects one arm's interval,
+		// an undecided one yields the hull of both arms.
+		switch p.evalTruth(e.Cond, domains) {
+		case truthTrue:
+			return p.evalIv(e.Then, domains)
+		case truthFalse:
+			return p.evalIv(e.Else, domains)
+		}
+		t := p.evalIv(e.Then, domains)
+		f := p.evalIv(e.Else, domains)
+		return Interval{Lo: min2(t.Lo, f.Lo), Hi: max2(t.Hi, f.Hi)}
 	case *sym.Bin:
 		l := p.evalIv(e.L, domains)
 		r := p.evalIv(e.R, domains)
@@ -552,6 +573,23 @@ func (p *problem) evalTruth(e sym.Expr, domains []Interval) truth {
 		return truthUnknown
 	case *sym.Not:
 		return p.evalTruth(e.X, domains).not()
+	case *sym.Ite:
+		// A boolean-typed ite (only raw literals reach here — the smart
+		// constructor folds boolean arms into connectives): a decided guard
+		// selects an arm, agreeing arms decide regardless of the guard.
+		c := p.evalTruth(e.Cond, domains)
+		t := p.evalTruth(e.Then, domains)
+		f := p.evalTruth(e.Else, domains)
+		switch c {
+		case truthTrue:
+			return t
+		case truthFalse:
+			return f
+		}
+		if t == f {
+			return t
+		}
+		return truthUnknown
 	case *sym.Bin:
 		switch e.Op {
 		case sym.OpAnd:

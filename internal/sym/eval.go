@@ -60,6 +60,18 @@ func Eval(e Expr, env map[string]Value) (Value, error) {
 			return Value{}, fmt.Errorf("sym.Eval: ! on int")
 		}
 		return BoolValue(!x.B), nil
+	case *Ite:
+		c, err := Eval(e.Cond, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !c.IsBool {
+			return Value{}, fmt.Errorf("sym.Eval: ite guard is not boolean")
+		}
+		if c.B {
+			return Eval(e.Then, env)
+		}
+		return Eval(e.Else, env)
 	case *Bin:
 		l, err := Eval(e.L, env)
 		if err != nil {

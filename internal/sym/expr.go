@@ -150,12 +150,23 @@ type Neg struct {
 	h *hdr
 }
 
+// ITE is a functional if-then-else over values: it denotes Then when Cond
+// holds and Else otherwise. State merging introduces ITE nodes when fusing
+// sibling environments at CFG join points; the language front end never
+// produces one. Like every node, build it through its smart constructor
+// (ITE in simplify.go) — the symcanon lint rejects raw literals elsewhere.
+type Ite struct {
+	Cond, Then, Else Expr
+	h                *hdr
+}
+
 func (*IntConst) exprNode()  {}
 func (*BoolConst) exprNode() {}
 func (*Var) exprNode()       {}
 func (*Bin) exprNode()       {}
 func (*Not) exprNode()       {}
 func (*Neg) exprNode()       {}
+func (*Ite) exprNode()       {}
 
 // Shared canonical constants.
 var (
@@ -241,6 +252,13 @@ func (e *Neg) String() string {
 	return memoStore(e.h, "-"+wrap(e.X))
 }
 
+func (e *Ite) String() string {
+	if s, ok := memoLoad(e.h); ok {
+		return s
+	}
+	return memoStore(e.h, "ite("+e.Cond.String()+", "+e.Then.String()+", "+e.Else.String()+")")
+}
+
 func wrap(e Expr) string {
 	switch e.(type) {
 	case *Bin:
@@ -291,6 +309,9 @@ func Equal(a, b Expr) bool {
 	case *Neg:
 		b, ok := b.(*Neg)
 		return ok && Equal(a.X, b.X)
+	case *Ite:
+		b, ok := b.(*Ite)
+		return ok && Equal(a.Cond, b.Cond) && Equal(a.Then, b.Then) && Equal(a.Else, b.Else)
 	}
 	return false
 }
@@ -309,6 +330,10 @@ func Walk(e Expr, fn func(Expr)) {
 		Walk(e.X, fn)
 	case *Neg:
 		Walk(e.X, fn)
+	case *Ite:
+		Walk(e.Cond, fn)
+		Walk(e.Then, fn)
+		Walk(e.Else, fn)
 	}
 }
 

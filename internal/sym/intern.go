@@ -12,7 +12,7 @@ package sym
 //
 // The canonicalization contract: within one process, for any two expressions
 // built through the constructors (Int, Bool, V, Add, Sub, Mul, Div, Mod,
-// NegE, Cmp, AndE, OrE, NotE, Subst) or passed through Intern, structural
+// NegE, Cmp, AndE, OrE, NotE, ITE, Subst) or passed through Intern, structural
 // equality coincides with pointer equality. Nodes built as raw composite
 // literals (test code) are "un-interned": they carry no header, and Equal
 // falls back to the structural walk for them.
@@ -101,6 +101,7 @@ func (e *Var) header() *hdr       { return e.h }
 func (e *Bin) header() *hdr       { return e.h }
 func (e *Not) header() *hdr       { return e.h }
 func (e *Neg) header() *hdr       { return e.h }
+func (e *Ite) header() *hdr       { return e.h }
 
 func headerOf(e Expr) *hdr {
 	if e == nil {
@@ -156,6 +157,7 @@ const (
 	fpSaltBin   = 0x27d4eb2f165667c5
 	fpSaltNot   = 0xc2b2ae3d27d4eb4f
 	fpSaltNeg   = 0x165667b19e3779f9
+	fpSaltIte   = 0x7f4a7c159e3779b9
 
 	fp2SaltInt   = 0x8a5cd789635d2dff
 	fp2SaltTrue  = 0x121fd2155c472f96
@@ -164,6 +166,7 @@ const (
 	fp2SaltBin   = 0x9f494aa6de2b1ec5
 	fp2SaltNot   = 0x86b2536fcd8f9ab1
 	fp2SaltNeg   = 0x3c79ac492ba7b653
+	fp2SaltIte   = 0x2b1ec59f494aa6de
 )
 
 func fpInt(v int64) fp128 {
@@ -202,6 +205,15 @@ func fpBin(op Op, l, r fp128) fp128 {
 
 func fpNot(x fp128) fp128 { return fp128{Mix64(fpSaltNot ^ x.a), MixAlt(fp2SaltNot + x.b)} }
 func fpNeg(x fp128) fp128 { return fp128{Mix64(fpSaltNeg ^ x.a), MixAlt(fp2SaltNeg + x.b)} }
+
+// fpIte is order-sensitive in (cond, then, else): fpBin's scheme with a
+// third operand, scaled by its own odd constant per half.
+func fpIte(c, t, e fp128) fp128 {
+	return fp128{
+		Mix64(fpSaltIte ^ c.a*0x9e3779b97f4a7c15 ^ Mix64(t.a)*0x85ebca77c2b2ae63 ^ MixAlt(e.a)*0xff51afd7ed558ccd),
+		MixAlt(fp2SaltIte + c.b*0xd1342543de82ef95 + MixAlt(t.b)*0xaef17502108ef2d9 + Mix64(e.b)*0x9e6c63d0676a9a99),
+	}
+}
 
 // Fingerprint returns the primary structural fingerprint of e: a field read
 // for canonical nodes, a structural computation (yielding the identical
@@ -244,6 +256,8 @@ func fingerprints(e Expr) fp128 {
 		return fpNot(fingerprints(e.X))
 	case *Neg:
 		return fpNeg(fingerprints(e.X))
+	case *Ite:
+		return fpIte(fingerprints(e.Cond), fingerprints(e.Then), fingerprints(e.Else))
 	}
 	return fp128{}
 }
@@ -257,6 +271,7 @@ type ikey struct {
 	kind byte
 	op   Op
 	l, r Expr
+	x    Expr // third child, kITE only (l=cond, r=then, x=else)
 	iv   int64
 	name string
 }
@@ -268,6 +283,7 @@ const (
 	kBin
 	kNot
 	kNeg
+	kITE
 )
 
 // internShards spreads the table over independently locked shards, picked by
@@ -504,6 +520,29 @@ func newNeg(x Expr) *Neg {
 	}).(*Neg)
 }
 
+// newITE interns ite(c, t, e), canonicalizing the children first. No
+// simplification — the ITE smart constructor in simplify.go does that. Each
+// first-sight build bumps the package ITE counter behind the ite_nodes stat.
+func newITE(c, t, e Expr) *Ite {
+	c, t, e = Intern(c), Intern(t), Intern(e)
+	ch, th, eh := c.header(), t.header(), e.header()
+	fp := fpIte(fp128{ch.fp, ch.fp2}, fp128{th.fp, th.fp2}, fp128{eh.fp, eh.fp2})
+	return internNode(fp, ikey{kind: kITE, l: c, r: t, x: e}, func(h *hdr) Expr {
+		h.vars = mergeVars(mergeVars(ch.vars, th.vars), eh.vars)
+		iteBuilt.Add(1)
+		return &Ite{Cond: c, Then: t, Else: e, h: h}
+	}).(*Ite)
+}
+
+// iteBuilt counts ITE nodes ever built into the table (re-interning after a
+// collection counts again). ITENodesBuilt exposes it so the engine can
+// report the ITE construction work of one run as a before/after delta —
+// approximate under concurrent runs, exact for a single engine.
+var iteBuilt atomic.Uint64
+
+// ITENodesBuilt returns the cumulative count of distinct ITE nodes interned.
+func ITENodesBuilt() uint64 { return iteBuilt.Load() }
+
 // Intern returns the canonical node structurally equal to e, interning its
 // sub-expressions bottom-up as needed. It preserves structure exactly — no
 // simplification — so Intern(a) == Intern(b) iff Equal(a, b). Canonical
@@ -530,6 +569,8 @@ func Intern(e Expr) Expr {
 		return newNot(Intern(e.X))
 	case *Neg:
 		return newNeg(Intern(e.X))
+	case *Ite:
+		return newITE(Intern(e.Cond), Intern(e.Then), Intern(e.Else))
 	}
 	panic("sym.Intern: unknown expression")
 }

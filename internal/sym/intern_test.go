@@ -39,7 +39,7 @@ func randInternExpr(rng *rand.Rand, depth int, boolean bool) Expr {
 			return Cmp(op, randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
 		}
 	}
-	switch rng.Intn(6) {
+	switch rng.Intn(7) {
 	case 0:
 		return Add(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
 	case 1:
@@ -50,6 +50,12 @@ func randInternExpr(rng *rand.Rand, depth int, boolean bool) Expr {
 		return Div(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
 	case 4:
 		return Mod(randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
+	case 5:
+		// Integer-armed ite, the shape state merging produces. The guard is
+		// a random boolean tree, so the ITE constructor's folds (constant
+		// guard, equal arms, nested same-guard) fire with useful frequency.
+		return ITE(randInternExpr(rng, depth-1, true),
+			randInternExpr(rng, depth-1, false), randInternExpr(rng, depth-1, false))
 	default:
 		return NegE(randInternExpr(rng, depth-1, false))
 	}
@@ -71,6 +77,8 @@ func rawCopy(e Expr) Expr {
 		return &Not{X: rawCopy(e.X)}
 	case *Neg:
 		return &Neg{X: rawCopy(e.X)}
+	case *Ite:
+		return &Ite{Cond: rawCopy(e.Cond), Then: rawCopy(e.Then), Else: rawCopy(e.Else)}
 	}
 	panic("rawCopy: unknown node")
 }
@@ -110,6 +118,77 @@ func TestInternCanonical(t *testing.T) {
 		if got, want := Fingerprint(a) == Fingerprint(b), Equal(a, b); got != want && want {
 			t.Fatalf("equal expressions %s and %s with different fingerprints", a, b)
 		}
+	}
+}
+
+// TestInternIteProperties is the ITE slice of the canonicality property:
+// over random ite trees, the smart constructor is idempotent (rebuilding a
+// canonical Ite from its own parts returns the same pointer), its algebraic
+// folds hold, and the order-sensitive fingerprint separates swapped arms.
+func TestInternIteProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ites := 0
+	for i := 0; i < 5000; i++ {
+		c := randInternExpr(rng, 2, true)
+		a := randInternExpr(rng, 2, false)
+		b := randInternExpr(rng, 2, false)
+
+		// Equal arms always collapse, constant guards always select.
+		if got := ITE(c, a, a); got != a {
+			t.Fatalf("ITE(%s, x, x) = %s, want x", c, got)
+		}
+		if got := ITE(True, a, b); got != a {
+			t.Fatalf("ITE(true, a, b) = %s, want a = %s", got, a)
+		}
+		if got := ITE(False, a, b); got != b {
+			t.Fatalf("ITE(false, a, b) = %s, want b = %s", got, b)
+		}
+
+		// A negated guard interns to the same node as the swapped arms:
+		// ite(!c, a, b) ≡ ite(c, b, a) is canonicalized, not just equal.
+		// NotE itself folds negations of comparisons into the inverse
+		// comparison, so the rule only observably fires when the negation
+		// survives as a *Not node (conjunctions, disjunctions).
+		if neg, ok := NotE(c).(*Not); ok {
+			if ITE(neg, a, b) != ITE(neg.X, b, a) {
+				t.Fatalf("ITE(!%s, a, b) not canonical with the swapped-arm node", neg.X)
+			}
+		}
+
+		e := ITE(c, a, b)
+		n, ok := e.(*Ite)
+		if !ok {
+			continue // folded away (const guard, equal arms, bool-const arm)
+		}
+		ites++
+		// Simplification idempotence: re-applying the constructor to the
+		// canonical node's own parts must be a no-op returning the same
+		// pointer — canonical Ite nodes are fixed points of ITE.
+		if ITE(n.Cond, n.Then, n.Else) != e {
+			t.Fatalf("ITE not idempotent on canonical node %s", e)
+		}
+		if Intern(rawCopy(e)) != e {
+			t.Fatalf("raw copy of %s did not intern back to the canonical node", e)
+		}
+		f1, f2 := Fingerprints(e)
+		r1, r2 := Fingerprints(rawCopy(e))
+		if f1 != r1 || f2 != r2 {
+			t.Fatalf("fingerprints of %s differ raw vs interned", e)
+		}
+		// The fingerprint is order-sensitive in (then, else): swapping
+		// unequal arms must yield a different node and fingerprint.
+		if !Equal(n.Then, n.Else) {
+			swapped := ITE(n.Cond, n.Else, n.Then)
+			if Equal(e, swapped) {
+				t.Fatalf("swapped arms compare equal: %s vs %s", e, swapped)
+			}
+			if Fingerprint(e) == Fingerprint(swapped) {
+				t.Fatalf("swapped arms share a fingerprint: %s vs %s", e, swapped)
+			}
+		}
+	}
+	if ites < 500 {
+		t.Fatalf("only %d/5000 iterations produced a canonical Ite node; generator too foldy", ites)
 	}
 }
 

@@ -35,6 +35,9 @@ func Add(l, r Expr) Expr {
 			}
 		}
 	}
+	if e, ok := foldIteArith(OpAdd, l, r); ok {
+		return e
+	}
 	return newBin(OpAdd, l, r)
 }
 
@@ -66,6 +69,9 @@ func Sub(l, r Expr) Expr {
 			}
 		}
 	}
+	if e, ok := foldIteArith(OpSub, l, r); ok {
+		return e
+	}
 	return newBin(OpSub, l, r)
 }
 
@@ -89,6 +95,9 @@ func Mul(l, r Expr) Expr {
 		case 1:
 			return l
 		}
+	}
+	if e, ok := foldIteArith(OpMul, l, r); ok {
+		return e
 	}
 	return newBin(OpMul, l, r)
 }
@@ -133,8 +142,57 @@ func NegE(x Expr) Expr {
 		return Int(-x.V)
 	case *Neg:
 		return x.X
+	case *Ite:
+		if constArmedITE(x) {
+			return ITE(x.Cond, NegE(x.Then), NegE(x.Else))
+		}
 	}
 	return newNeg(x)
+}
+
+// ITE returns ite(cond, t, e) simplified — the functional if-then-else that
+// state merging introduces when fusing sibling environments at CFG join
+// points. Identities applied: constant guard selects an arm; equal arms
+// collapse; a negated guard swaps arms (so ite(c,a,b) and ite(!c,b,a)
+// intern to one node); boolean-constant arms fold into plain connectives
+// (ite(c,true,x) = c||x, ite(c,false,x) = !c&&x, and mirrored), keeping
+// guard logic out of value position; a nested ite on the same guard
+// collapses to the arm the guard forces.
+func ITE(cond, t, e Expr) Expr {
+	if cb, ok := cond.(*BoolConst); ok {
+		if cb.V {
+			return t
+		}
+		return e
+	}
+	if n, ok := cond.(*Not); ok {
+		return ITE(n.X, e, t)
+	}
+	if Equal(t, e) {
+		return t
+	}
+	if tb, ok := t.(*BoolConst); ok {
+		if tb.V {
+			return OrE(cond, e)
+		}
+		return AndE(NotE(cond), e)
+	}
+	if eb, ok := e.(*BoolConst); ok {
+		if eb.V {
+			return OrE(NotE(cond), t)
+		}
+		return AndE(cond, t)
+	}
+	if ti, ok := t.(*Ite); ok && Equal(ti.Cond, cond) {
+		t = ti.Then
+	}
+	if ei, ok := e.(*Ite); ok && Equal(ei.Cond, cond) {
+		e = ei.Else
+	}
+	if Equal(t, e) {
+		return t
+	}
+	return newITE(cond, t, e)
 }
 
 // Cmp returns (l op r) simplified, for comparison operators.
@@ -174,7 +232,72 @@ func Cmp(op Op, l, r Expr) Expr {
 	if isConstExpr(l) && !isConstExpr(r) {
 		op, l, r = op.Swap(), r, l
 	}
+	// A comparison of a constant-armed ite chain (the shape state merging
+	// gives environments that differ only in concrete values) against a
+	// constant folds through the arms: every leaf comparison is decided
+	// concretely, so the whole thing reduces to guard logic the solver's
+	// linear machinery understands, instead of an opaque constraint.
+	if li, ok := l.(*Ite); ok {
+		if rc, ok := r.(*IntConst); ok && constArmedITE(li) {
+			return liftCmpITE(op, li, rc)
+		}
+	}
 	return newBin(op, l, r)
+}
+
+// constArmedITE reports an ite chain whose leaves are all integer
+// constants. Comparisons and arithmetic against such chains fold through
+// the arms (Cmp, foldIteArith), keeping merged-state constraints inside the
+// solver's decidable fragment.
+func constArmedITE(e Expr) bool {
+	for {
+		ite, ok := e.(*Ite)
+		if !ok {
+			_, ok := e.(*IntConst)
+			return ok
+		}
+		if !constArmedITE(ite.Then) {
+			return false
+		}
+		e = ite.Else
+	}
+}
+
+// liftCmpITE distributes (e ⋈ r) over the arms of a constant-armed ite
+// chain. The leaf comparisons fold to boolean constants, and the ITE
+// constructor's boolean-arm rules then reduce the result to guard logic.
+func liftCmpITE(op Op, e Expr, r *IntConst) Expr {
+	if ite, ok := e.(*Ite); ok {
+		return ITE(ite.Cond, liftCmpITE(op, ite.Then, r), liftCmpITE(op, ite.Else, r))
+	}
+	return Cmp(op, e, r)
+}
+
+// foldIteArith pushes an arithmetic operation with one constant operand
+// through a constant-armed ite chain on the other side, preserving the
+// chain's constant-armed normal form across sequential assignments (the
+// arms fold to fresh constants). Non-constant arms are left alone — the
+// fold would duplicate arbitrary subtrees.
+func foldIteArith(op Op, l, r Expr) (Expr, bool) {
+	if li, ok := l.(*Ite); ok && isConstExpr(r) && constArmedITE(li) {
+		return ITE(li.Cond, binArith(op, li.Then, r), binArith(op, li.Else, r)), true
+	}
+	if ri, ok := r.(*Ite); ok && isConstExpr(l) && constArmedITE(ri) {
+		return ITE(ri.Cond, binArith(op, l, ri.Then), binArith(op, l, ri.Else)), true
+	}
+	return nil, false
+}
+
+func binArith(op Op, l, r Expr) Expr {
+	switch op {
+	case OpAdd:
+		return Add(l, r)
+	case OpSub:
+		return Sub(l, r)
+	case OpMul:
+		return Mul(l, r)
+	}
+	panic("sym.binArith: not a foldable operator: " + op.String())
 }
 
 // isConstExpr reports a literal constant operand.
@@ -276,6 +399,8 @@ func Subst(e Expr, env map[string]Expr) Expr {
 		return NegE(Subst(e.X, env))
 	case *Not:
 		return NotE(Subst(e.X, env))
+	case *Ite:
+		return ITE(Subst(e.Cond, env), Subst(e.Then, env), Subst(e.Else, env))
 	case *Bin:
 		l := Subst(e.L, env)
 		r := Subst(e.R, env)

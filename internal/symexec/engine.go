@@ -70,7 +70,29 @@ type Config struct {
 	// values above MaxExploreParallelism fail engine construction (each
 	// worker is a live solver context, so the count must stay sane).
 	ExploreParallelism int
+	// MergeBound enables bounded state merging (merge.go): at CFG join
+	// points, sibling states whose environments differ only in value
+	// bindings are fused into one state whose environment maps each
+	// differing name to a canonical sym.ITE over the siblings' path-suffix
+	// guards, and whose path condition factors the suffixes through a
+	// disjunction. Zero disables merging (the default); MergeUnbounded (-1)
+	// merges every mergeable sibling group whole; values >= 2 cap how many
+	// siblings fuse into one state per merge. 1 and values below
+	// MergeUnbounded fail engine construction, as does combining merging
+	// with a memo trie (Config.Memo): recorded verdicts are keyed by
+	// per-path conjunctions, which merging replaces with factored
+	// disjunctions, so sessions reject the mode until merge-aware rekeying
+	// exists.
+	MergeBound int
+	// MergeBudget caps the number of merge operations performed in one
+	// exploration when merging is enabled; once spent, remaining states
+	// pass through joins unmerged. Zero means no cap.
+	MergeBudget int
 }
+
+// MergeUnbounded as Config.MergeBound merges every mergeable sibling group
+// at a join whole, however many states arrive.
+const MergeUnbounded = -1
 
 // MaxExploreParallelism bounds Config.ExploreParallelism: workers beyond any
 // plausible core count only add coordination overhead and solver-context
@@ -122,6 +144,18 @@ type Stats struct {
 	// recorded fresh facts (unmatched, wiped, or never-recorded nodes).
 	MemoStatesReplayed int
 	MemoStatesLive     int
+
+	// State-merging counters of a run with Config.MergeBound set (zero
+	// otherwise).
+	//
+	// Merges counts merge operations: sibling groups fused at a join.
+	Merges int
+	// MergedStatesSaved counts states absorbed by merges — for each merge
+	// of k siblings, k-1 states that were not separately explored.
+	MergedStatesSaved int
+	// IteNodes counts the distinct sym.ITE nodes interned during the run
+	// (approximate when other runs intern concurrently).
+	IteNodes int
 }
 
 // Engine symbolically executes one procedure.
@@ -212,6 +246,18 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 	if config.ExploreParallelism < 0 || config.ExploreParallelism > MaxExploreParallelism {
 		return nil, fmt.Errorf("symexec: explore parallelism %d out of range [0, %d] (0 or 1 = sequential)",
 			config.ExploreParallelism, MaxExploreParallelism)
+	}
+	if config.MergeBound != 0 {
+		if config.MergeBound == 1 || config.MergeBound < MergeUnbounded {
+			return nil, fmt.Errorf("symexec: merge bound %d out of range (0 = off, %d = unbounded, >= 2 = bounded)",
+				config.MergeBound, MergeUnbounded)
+		}
+		if config.Memo != nil {
+			return nil, fmt.Errorf("symexec: state merging is incompatible with a memoized session trie: recorded verdicts are keyed by per-path conjunctions, which merging replaces with factored disjunctions")
+		}
+		if config.MergeBudget < 0 {
+			return nil, fmt.Errorf("symexec: merge budget %d is negative (0 = unlimited)", config.MergeBudget)
+		}
 	}
 	if config.ExploreParallelism > 1 && config.SolverCache == nil {
 		// Parallel exploration forks the engine, one solver context per
@@ -749,6 +795,7 @@ func (e *Engine) Collect(s *State) Path {
 		PCString: sym.Conjoin(pc),
 		Env:      s.Env.Map(),
 		Trace:    s.Trace,
+		Cover:    s.Cover,
 		Err:      s.Err || s.Node.Kind == cfg.KindError,
 	}
 }

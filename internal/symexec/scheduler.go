@@ -138,6 +138,11 @@ type Explorer struct {
 	maxStatesHit bool
 	coreStats    Stats // committed core counters (see coreDelta)
 
+	// State-merging counters (merge.go); zero without Config.MergeBound.
+	merges      int
+	mergedSaved int
+	iteNodes    int
+
 	summary *Summary
 }
 
@@ -172,6 +177,12 @@ func NewExplorer(e *Engine, opts ExploreOptions) *Explorer {
 		// goroutines score states concurrently and must only read it.
 		e.Graph.Dist(e.Graph.Begin.ID, e.Graph.End.ID)
 	}
+	if e.config.MergeBound != 0 {
+		// Merged exploration is sequential: the merge queue replaces the
+		// strategy frontier, and one engine threads one solver context
+		// through the heap-ordered walk (merge.go).
+		x.parallelism = 1
+	}
 	for i := 1; i < x.parallelism; i++ {
 		fork, err := e.Fork()
 		if err != nil {
@@ -199,9 +210,12 @@ func (x *Explorer) Run() *Summary {
 	x.created = 1
 	x.root = &task{state: s0}
 
-	if x.opts.Pruner != nil {
+	switch {
+	case primary.config.MergeBound != 0:
+		x.runMerged()
+	case x.opts.Pruner != nil:
 		x.runCommitted()
-	} else {
+	default:
 		x.runFree()
 	}
 
@@ -558,6 +572,9 @@ func (x *Explorer) fail(err error) {
 func (x *Explorer) mergedStats() Stats {
 	st := x.coreStats
 	st.MaxStatesHit = x.maxStatesHit
+	st.Merges = x.merges
+	st.MergedStatesSaved = x.mergedSaved
+	st.IteNodes = x.iteNodes
 	var solver constraint.Stats
 	for _, e := range x.engines {
 		st.PathsExplored += e.stats.PathsExplored

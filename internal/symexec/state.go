@@ -190,6 +190,13 @@ type State struct {
 	// power the affected-node-sequence analysis and the Table 1 rendering.
 	// Forked states share the parent's slice; appends copy (exact size).
 	Trace []int
+	// Cover is the set of statement-node IDs (sorted, deduplicated) covered
+	// by sibling states this state absorbed through merging (merge.go):
+	// Trace continues the representative sibling's history, Cover keeps the
+	// others' so coverage accounting (DiSE's affected-node bookkeeping)
+	// still sees every node any constituent executed. Nil outside merged
+	// runs. Forked states share the slice; merges build fresh ones.
+	Cover []int
 	// Err marks a state that reached the assertion-failure sink.
 	Err bool
 	// model is a satisfying assignment witnessing PC's feasibility. When a
@@ -224,6 +231,7 @@ func (s *State) fork(node *cfg.Node) *State {
 		PC:    s.PC,
 		Depth: s.Depth + 1,
 		Trace: s.Trace,
+		Cover: s.Cover,
 		Err:   s.Err,
 		model: s.model,
 	}
@@ -265,6 +273,10 @@ type Path struct {
 	Env map[string]sym.Expr
 	// Trace is the sequence of statement CFG node IDs executed.
 	Trace []int
+	// Cover is the sorted set of statement CFG node IDs covered by sibling
+	// paths that state merging folded into this one (nil outside merged
+	// runs). Coverage accounting should consult Trace ∪ Cover.
+	Cover []int
 	// Err reports that the path ended in an assertion violation.
 	Err bool
 }

@@ -99,6 +99,13 @@ func (a *Analyzer) NewSession(ctx context.Context, req SessionRequest) (*Session
 	if err := ctx.Err(); err != nil {
 		return nil, &Error{Kind: Cancelled, Err: err}
 	}
+	// Checked here, not left to the engine builder, so a SkipSeed session
+	// (which builds no engine until its first Advance) still fails at
+	// construction: the memo trie records verdicts keyed by per-path
+	// conjunctions, which state merging replaces with factored disjunctions.
+	if a.conf.mergeBound != 0 {
+		return nil, &Error{Kind: InvalidConfig, Err: errMergeSession}
+	}
 	// Every session version becomes an engine's graph (the seed run, or a
 	// later Advance's mod side), so precompute unconditionally.
 	v, err := a.resolveVersion(req.InitialSrc, req.Proc, "initial version", req.Interprocedural, true)
@@ -202,7 +209,7 @@ func (s *Session) Advance(ctx context.Context, nextSrc string) (*Result, error) 
 		Diff:      d,
 		Engine:    engine,
 		Opts:      idise.Options{TransitiveWrites: s.a.conf.transitiveWrites},
-	}, next.prog, s.proc)
+	}, s.a.resultConfig(), next.prog, s.proc)
 	if err != nil {
 		// The run started mutating the trie; only a fresh recording is
 		// trustworthy now.

@@ -114,6 +114,30 @@ func TestSessionMatchesColdAnalyzeOnArtifacts(t *testing.T) {
 // to a version whose only difference is whitespace (identical AST) must
 // invalidate nothing, make zero solver checks, expand no state live — and
 // must leave the trie intact so a later real change still replays from it.
+// TestSessionRejectsStateMerging pins the incompatibility of the two reuse
+// mechanisms: a merging Analyzer cannot open a version-chain session — the
+// memo trie is keyed by per-path conjunctions, which merging replaces with
+// factored disjunctions — and the rejection happens at construction time
+// with Kind InvalidConfig, even when SkipSeed defers the first engine build.
+func TestSessionRejectsStateMerging(t *testing.T) {
+	art, _ := artifacts.ByName("WBS")
+	for _, skipSeed := range []bool{false, true} {
+		a := NewAnalyzer(WithStateMerging(MergeUnbounded))
+		_, err := a.NewSession(context.Background(), SessionRequest{
+			InitialSrc: art.Base, Proc: art.Proc, SkipSeed: skipSeed,
+		})
+		if KindOf(err) != InvalidConfig {
+			t.Errorf("SkipSeed=%v: NewSession error = %v, want Kind InvalidConfig", skipSeed, err)
+		}
+	}
+	// One-shot Analyze on the same Analyzer remains usable.
+	a := NewAnalyzer(WithStateMerging(MergeUnbounded))
+	mod := art.SourceFor(art.Versions[0])
+	if _, err := a.Analyze(context.Background(), Request{BaseSrc: art.Base, ModSrc: mod, Proc: art.Proc}); err != nil {
+		t.Fatalf("merging Analyze: %v", err)
+	}
+}
+
 func TestSessionNoOpEditFastPath(t *testing.T) {
 	art, _ := artifacts.ByName("WBS")
 	ctx := context.Background()

@@ -1,7 +1,9 @@
 package dise
 
 import (
+	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -38,5 +40,68 @@ func TestStatsAdd(t *testing.T) {
 	}
 	if !reflect.DeepEqual(agg, want) {
 		t.Fatalf("aggregate mismatch:\ngot  %+v\nwant %+v", agg, want)
+	}
+}
+
+// TestMergeStatsAdd pins the merge-block aggregation: Enabled is a
+// disjunction, Bound keeps the first enabled sample, the counters sum.
+func TestMergeStatsAdd(t *testing.T) {
+	var agg MergeStats
+	agg.Add(MergeStats{Merges: 0}) // unmerged run contributes nothing
+	agg.Add(MergeStats{Enabled: true, Bound: 8, Merges: 3, MergedStatesSaved: 5, IteNodes: 12})
+	agg.Add(MergeStats{Enabled: true, Bound: 2, Merges: 1, MergedStatesSaved: 1, IteNodes: 4})
+	want := MergeStats{Enabled: true, Bound: 8, Merges: 4, MergedStatesSaved: 6, IteNodes: 16}
+	if agg != want {
+		t.Fatalf("aggregate mismatch:\ngot  %+v\nwant %+v", agg, want)
+	}
+}
+
+// TestStatsMarshalOmitsZeroBlocks pins the uniform omission rule of the
+// Stats JSON shape: the solver/memo/merge sub-blocks disappear when they
+// equal their zero values and appear — under their fixed keys — when they
+// carry data. A cold run's JSON must not serialize trees of zeros for
+// machinery it never engaged.
+func TestStatsMarshalOmitsZeroBlocks(t *testing.T) {
+	bare, err := json.Marshal(Stats{StatesExplored: 3, SearchStrategy: "dfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"solver_stats", "memo_stats", "merge_stats"} {
+		if strings.Contains(string(bare), key) {
+			t.Errorf("zero %s block not omitted: %s", key, bare)
+		}
+	}
+	if !strings.Contains(string(bare), `"states_explored":3`) {
+		t.Errorf("core counters missing: %s", bare)
+	}
+
+	full, err := json.Marshal(Stats{
+		Solver: SolverStats{Backend: "interval", Checks: 1},
+		Memo:   MemoStats{Enabled: true, Step: 1},
+		Merge:  MergeStats{Enabled: true, Bound: MergeUnbounded, Merges: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"solver_stats":{`, `"memo_stats":{`, `"merge_stats":{`,
+		`"backend":"interval"`, `"merged_states_saved":0`, `"bound":-1`,
+	} {
+		if !strings.Contains(string(full), want) {
+			t.Errorf("marshaled stats missing %s: %s", want, full)
+		}
+	}
+	// The override fields must shadow, not duplicate, the embedded ones.
+	if n := strings.Count(string(full), `"merge_stats"`); n != 1 {
+		t.Errorf("merge_stats appears %d times, want 1: %s", n, full)
+	}
+
+	// Round trip: the custom marshaler must stay decodable into Stats.
+	var back Stats
+	if err := json.Unmarshal(full, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Merge.Merges != 2 || back.Memo.Step != 1 || back.Solver.Checks != 1 {
+		t.Errorf("round trip lost sub-block data: %+v", back)
 	}
 }
