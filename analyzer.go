@@ -9,6 +9,12 @@ import (
 	"dise/internal/cfg"
 	"dise/internal/constraint"
 	idise "dise/internal/dise"
+
+	// The external-solver and portfolio backends register themselves with
+	// the constraint registry, making "smtlib" and "portfolio" valid
+	// WithSolverBackend names for every consumer of the facade.
+	_ "dise/internal/constraint/portfolio"
+	_ "dise/internal/constraint/smtlib"
 	"dise/internal/evaluation"
 	"dise/internal/inline"
 	"dise/internal/lang/ast"
@@ -61,6 +67,8 @@ type analyzerConfig struct {
 	parallelism      int
 	cacheCapacity    int
 	solverBackend    string
+	solverSMT        constraint.SMTOptions
+	solverPortfolio  []string
 	solverCacheSize  int
 	searchStrategy   string
 	exploreWorkers   int
@@ -121,6 +129,30 @@ func WithCacheCapacity(n int) Option { return func(c *analyzerConfig) { c.cacheC
 // descriptive error. See SolverBackends for the accepted names.
 func WithSolverBackend(name string) Option {
 	return func(c *analyzerConfig) { c.solverBackend = name }
+}
+
+// WithSMTSolver points the "smtlib" backend (and any portfolio containing
+// it) at an explicit solver binary instead of PATH discovery. The empty
+// path keeps discovery; a missing or broken binary is never an error —
+// every affected check degrades to the in-process fallback and is counted
+// in the solver stats (ext_unknowns).
+func WithSMTSolver(path string) Option {
+	return func(c *analyzerConfig) { c.solverSMT.SolverPath = path }
+}
+
+// WithSMTOptions replaces the whole external-solver option set of the
+// "smtlib" backend — binary, per-check deadline, restart budget and
+// backoff, circuit-breaker tuning — for callers that need more than
+// WithSMTSolver's path override.
+func WithSMTOptions(o constraint.SMTOptions) Option {
+	return func(c *analyzerConfig) { c.solverSMT = o }
+}
+
+// WithPortfolioMembers selects the member backends the "portfolio"
+// meta-backend races on every check. Empty keeps the default member set
+// (interval, bitvec, smtlib). Member names are validated on first use.
+func WithPortfolioMembers(names ...string) Option {
+	return func(c *analyzerConfig) { c.solverPortfolio = append([]string(nil), names...) }
 }
 
 // WithSolverCacheCapacity bounds the shared solved-prefix cache of the
@@ -291,6 +323,8 @@ func (a *Analyzer) engineConfig(ctx context.Context) symexec.Config {
 		ConcreteGlobals:    a.conf.concreteGlobals,
 		SolverOptions:      solver.Options{NodeBudget: a.conf.solverNodeBudget},
 		SolverBackend:      a.conf.solverBackend,
+		SolverSMT:          a.conf.solverSMT,
+		SolverPortfolio:    a.conf.solverPortfolio,
 		SolverCache:        a.solverCache,
 		Strategy:           a.conf.searchStrategy,
 		ExploreParallelism: a.conf.exploreWorkers,

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	dise -base old.mini -mod new.mini -proc update [-tests] [-depth N] [-json]
-//	     [-timeout D] [-solver interval|bitvec] [-strategy dfs|bfs|directed]
+//	     [-timeout D] [-solver interval|bitvec|smtlib|portfolio] [-smt-solver PATH]
+//	     [-portfolio NAMES] [-strategy dfs|bfs|directed]
 //	     [-explore-parallelism N] [-merge-bound N]
+//
+// -solver smtlib talks SMT-LIB2 to an external solver subprocess (z3, cvc5,
+// ... — discovered on PATH or pinned with -smt-solver), degrading to the
+// in-process interval fallback on any solver failure; -solver portfolio
+// races several backends per check. See the README's "Solver resilience"
+// section.
 //
 // -merge-bound enables bounded state merging (0 = off, -1 = unbounded,
 // >= 2 = fuse at most N sibling states per join). Merged runs report
@@ -60,6 +67,8 @@ func main() {
 	tests := flag.Bool("tests", false, "also solve affected path conditions into test inputs")
 	asJSON := flag.Bool("json", false, "emit the result as machine-readable JSON")
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
+	smtSolver := flag.String("smt-solver", "", "path to an SMT-LIB2 solver binary for the smtlib backend (default: discover z3/cvc5/... on PATH; absent binary degrades to the in-process fallback)")
+	portfolio := flag.String("portfolio", "", "comma-separated member backends for -solver portfolio (default interval,bitvec,smtlib)")
 	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
 	mergeBound := flag.Int("merge-bound", 0, "bounded state merging at CFG joins: 0 = off, -1 = unbounded, >= 2 = fuse at most N siblings per merge (incompatible with -chain/-artifact)")
@@ -96,6 +105,8 @@ func main() {
 			depth:              *depth,
 			asJSON:             *asJSON,
 			solver:             *solverName,
+			smtSolver:          *smtSolver,
+			portfolio:          *portfolio,
 			strategy:           *strategy,
 			exploreParallelism: *exploreParallelism,
 		})
@@ -103,7 +114,7 @@ func main() {
 	}
 
 	if *basePath == "" || *modPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME] [-strategy NAME] [-explore-parallelism N]")
+		fmt.Fprintln(os.Stderr, "usage: dise -base OLD -mod NEW [-proc NAME] [-tests] [-depth N] [-json] [-solver NAME] [-smt-solver PATH] [-portfolio NAMES] [-strategy NAME] [-explore-parallelism N]")
 		fmt.Fprintln(os.Stderr, "       dise -chain V1,V2,... | -artifact asw|wbs|oae  [-proc NAME] [-json]")
 		os.Exit(2)
 	}
@@ -122,6 +133,8 @@ func main() {
 	a := dise.NewAnalyzer(
 		dise.WithDepthBound(*depth),
 		dise.WithSolverBackend(*solverName),
+		dise.WithSMTSolver(*smtSolver),
+		dise.WithPortfolioMembers(splitMembers(*portfolio)...),
 		dise.WithSearchStrategy(*strategy),
 		dise.WithExploreParallelism(*exploreParallelism),
 		dise.WithStateMerging(*mergeBound),
@@ -198,8 +211,24 @@ type chainConfig struct {
 	depth              int
 	asJSON             bool
 	solver             string
+	smtSolver          string
+	portfolio          string
 	strategy           string
 	exploreParallelism int
+}
+
+// splitMembers parses the comma-separated -portfolio flag value.
+func splitMembers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // chainStep is the machine-readable record of one Session.Advance.
@@ -265,6 +294,8 @@ func runChain(ctx context.Context, cfg chainConfig) {
 	a := dise.NewAnalyzer(
 		dise.WithDepthBound(cfg.depth),
 		dise.WithSolverBackend(cfg.solver),
+		dise.WithSMTSolver(cfg.smtSolver),
+		dise.WithPortfolioMembers(splitMembers(cfg.portfolio)...),
 		dise.WithSearchStrategy(cfg.strategy),
 		dise.WithExploreParallelism(cfg.exploreParallelism),
 	)

@@ -9,13 +9,15 @@
 //	dised [-addr HOST:PORT] [-port-file PATH]
 //	      [-max-sessions N] [-sessions-per-tenant N] [-session-ttl D]
 //	      [-max-inflight N] [-max-queue N] [-deadline D] [-max-deadline D]
-//	      [-solver NAME] [-strategy NAME] [-depth N] [-max-states N]
+//	      [-solver NAME] [-smt-solver PATH] [-portfolio NAMES]
+//	      [-strategy NAME] [-depth N] [-max-states N]
 //	      [-explore-parallelism N]
 //	      [-max-trie-nodes N] [-max-trie-bytes N] [-intern-gc-epochs N]
-//	      [-cache-bytes N] [-merge-bound N]
+//	      [-cache-bytes N] [-merge-bound N] [-drain-timeout D]
 //
-// SIGINT/SIGTERM shut the server down gracefully (in-flight requests get
-// -shutdown-grace to finish).
+// SIGINT/SIGTERM shut the server down gracefully: the daemon stops
+// accepting (new requests are rejected with 503 shutting_down), in-flight
+// analyses get -drain-timeout to finish, and the process exits 0.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,10 +47,12 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admitted requests that may wait for a slot (0 = default 64)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = default 30s)")
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = default 2m)")
-	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "time in-flight requests get to finish after SIGTERM/SIGINT before the server gives up on them")
 	depth := flag.Int("depth", 0, "symbolic execution depth bound (0 = default)")
 	maxStates := flag.Int("max-states", 0, "states explored per request before BudgetExhausted (0 = no cap)")
 	solverName := flag.String("solver", "", fmt.Sprintf("constraint-solving backend %v (default %q)", dise.SolverBackends(), "interval"))
+	smtSolver := flag.String("smt-solver", "", "path to an SMT-LIB2 solver binary for the smtlib backend (default: discover on PATH; absent binary degrades to the in-process fallback)")
+	portfolio := flag.String("portfolio", "", "comma-separated member backends for -solver portfolio (default interval,bitvec,smtlib)")
 	strategy := flag.String("strategy", "", fmt.Sprintf("search strategy %v (default %q)", dise.SearchStrategies(), "dfs"))
 	exploreParallelism := flag.Int("explore-parallelism", 0, "exploration workers per analysis (0 or 1 = sequential)")
 	maxTrieNodes := flag.Int("max-trie-nodes", 0, "per-session memo-trie node budget; cold subtrees are evicted after each step (0 = unbounded)")
@@ -100,6 +105,8 @@ func main() {
 			dise.WithDepthBound(*depth),
 			dise.WithMaxStates(*maxStates),
 			dise.WithSolverBackend(*solverName),
+			dise.WithSMTSolver(*smtSolver),
+			dise.WithPortfolioMembers(splitMembers(*portfolio)...),
 			dise.WithSearchStrategy(*strategy),
 			dise.WithExploreParallelism(*exploreParallelism),
 		},
@@ -134,11 +141,36 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "dised: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		// Graceful drain: reject new work at the service layer first (503
+		// shutting_down, so clients on kept-alive connections get a clean
+		// answer), then stop the listener and wait out the in-flight
+		// requests. A drain that outlives the timeout is reported but is
+		// still a clean exit — the remaining requests lose their connection,
+		// which at that point is the contract.
+		fmt.Fprintln(os.Stderr, "dised: shutting down (draining in-flight requests)")
+		svc.BeginShutdown()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		if err := svc.Drain(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dised: drain timeout expired with requests still running")
+		}
+		if err := srv.Shutdown(drainCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "dised: forced shutdown:", err)
 		}
+		fmt.Fprintln(os.Stderr, "dised: drained, exiting")
 	}
+}
+
+// splitMembers parses the comma-separated -portfolio flag value.
+func splitMembers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }

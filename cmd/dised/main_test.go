@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dise/internal/artifacts"
+	"dise/internal/service"
+)
+
+// buildDised compiles the daemon once per test binary run.
+func buildDised(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "dised")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDised boots the daemon on a random port and waits for the port file.
+func startDised(t *testing.T, bin string, extraArgs ...string) (*exec.Cmd, *bytes.Buffer, string) {
+	t.Helper()
+	portFile := filepath.Join(t.TempDir(), "port")
+	args := append([]string{"-addr", "127.0.0.1:0", "-port-file", portFile}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting dised: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if addr, err := os.ReadFile(portFile); err == nil && len(addr) > 0 {
+			return cmd, &stderr, strings.TrimSpace(string(addr))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dised never wrote its port file; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ep service.ErrorPayload
+		json.NewDecoder(resp.Body).Decode(&ep)
+		return resp.StatusCode, ep.Error.Code
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding reply: %v", url, err)
+		}
+	}
+	return resp.StatusCode, ""
+}
+
+// TestGracefulShutdownSIGTERM boots the real daemon, parks an advance
+// request mid-flight (the body is only half sent, so the handler is inside
+// the drain gate blocked on the read), delivers SIGTERM, and asserts the
+// full drain contract: new requests get 503 shutting_down, the in-flight
+// advance completes with 200 once its body arrives, and the process exits 0.
+func TestGracefulShutdownSIGTERM(t *testing.T) {
+	bin := buildDised(t)
+	cmd, stderr, addr := startDised(t, bin, "-drain-timeout", "30s")
+	base := "http://" + addr
+
+	art, ok := artifacts.ByName("WBS")
+	if !ok {
+		t.Fatal("WBS artifact missing")
+	}
+	var created service.CreateSessionResponse
+	if status, code := postJSON(t, base+"/v1/sessions",
+		service.CreateSessionRequest{Tenant: "t1", InitialSrc: art.Base, Proc: art.Proc}, &created); status != http.StatusCreated {
+		t.Fatalf("create session: status %d code %q", status, code)
+	}
+
+	// Hand-rolled advance request, sent in two halves: once the headers are
+	// in, the handler has entered the drain gate and is parked reading the
+	// body — a request that is in flight by construction when the signal
+	// lands.
+	body, err := json.Marshal(service.AdvanceRequest{Tenant: "t1", NextSrc: art.SourceFor(art.Versions[0])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := fmt.Sprintf("POST /v1/sessions/%s/advance HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		created.SessionID, addr, len(body))
+	half := len(body) / 2
+	if _, err := conn.Write(append([]byte(req), body[:half]...)); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to parse the headers and enter the handler.
+	time.Sleep(200 * time.Millisecond)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain gate is now closed to new work: the daemon cannot exit while
+	// our request is open, and fresh requests are refused with 503.
+	rejected := false
+	for i := 0; i < 50 && !rejected; i++ {
+		status, code := postJSON(t, base+"/v1/sessions",
+			service.CreateSessionRequest{Tenant: "t2", InitialSrc: art.Base, Proc: art.Proc}, nil)
+		if status == http.StatusServiceUnavailable && code == "shutting_down" {
+			rejected = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !rejected {
+		t.Fatalf("new requests were never rejected with 503 shutting_down; stderr:\n%s", stderr.String())
+	}
+
+	// Completing the body lets the in-flight advance finish normally.
+	if _, err := conn.Write(body[half:]); err != nil {
+		t.Fatalf("sending body remainder: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading in-flight response: %v", err)
+	}
+	var res service.ResultPayload
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding in-flight response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(res.Paths) == 0 {
+		t.Fatalf("in-flight advance: status %d, %d paths — drain killed a running request", resp.StatusCode, len(res.Paths))
+	}
+
+	// With the last request gone the daemon drains out and exits 0.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dised exited non-zero: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("dised never exited after the drain; stderr:\n%s", stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "drained, exiting") {
+		t.Fatalf("shutdown log missing the drain marker:\n%s", out)
+	}
+}
+
+// TestSolverKillMidRequest boots the daemon against a solver binary that
+// dies on every check-sat and asserts requests still succeed: the smtlib
+// backend's supervision contains the crashes and the embedded fallback
+// answers, so the client never sees the dead solver.
+func TestSolverKillMidRequest(t *testing.T) {
+	shPath, err := exec.LookPath("sh")
+	if err != nil {
+		t.Skip("no sh on PATH")
+	}
+	crasher := filepath.Join(t.TempDir(), "crash-solver.sh")
+	script := "#!" + shPath + "\nwhile read line; do\n  case \"$line\" in\n  *check-sat*) exit 137 ;;\n  esac\ndone\n"
+	if err := os.WriteFile(crasher, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildDised(t)
+	cmd, stderr, addr := startDised(t, bin, "-solver", "smtlib", "-smt-solver", crasher)
+	base := "http://" + addr
+
+	art, _ := artifacts.ByName("WBS")
+	var created service.CreateSessionResponse
+	if status, code := postJSON(t, base+"/v1/sessions",
+		service.CreateSessionRequest{Tenant: "t1", InitialSrc: art.Base, Proc: art.Proc}, &created); status != http.StatusCreated {
+		t.Fatalf("create session with crashing solver: status %d code %q; stderr:\n%s", status, code, stderr.String())
+	}
+	var res service.ResultPayload
+	if status, code := postJSON(t, base+"/v1/sessions/"+created.SessionID+"/advance",
+		service.AdvanceRequest{Tenant: "t1", NextSrc: art.SourceFor(art.Versions[0])}, &res); status != http.StatusOK {
+		t.Fatalf("advance with crashing solver: status %d code %q", status, code)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("advance under solver crashes found no paths")
+	}
+	// The degradation is visible in the stats, not the verdicts.
+	if res.Stats.Solver.ExtUnknowns == 0 && res.Stats.Solver.ExtRestarts == 0 {
+		t.Fatalf("crashing solver left no degradation trace: %+v", res.Stats.Solver)
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dised exited non-zero after solver crashes: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("dised never exited")
+	}
+}

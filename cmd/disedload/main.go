@@ -12,8 +12,13 @@
 //
 //	disedload -addr HOST:PORT [-chains N] [-workers N] [-tenants N]
 //	          [-mix artifacts|rand|both] [-steps N] [-seed N]
-//	          [-deadline-ms N] [-delete] [-merge-bound N] [-out FILE]
+//	          [-deadline-ms N] [-retries N] [-delete] [-merge-bound N]
+//	          [-out FILE]
 //	disedload -addr HOST:PORT -smoke
+//
+// Overloaded-server rejections (429 queue_full) are retried with jittered
+// exponential backoff up to -retries extra attempts per request; the report
+// counts the retries so an overload-heavy run is visible.
 //
 // -merge-bound switches the drive from session chains to one-shot
 // /v1/analyze requests carrying merge_bound (state merging) over each
@@ -31,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -54,6 +60,7 @@ func main() {
 	steps := flag.Int("steps", 6, "steps per random chain")
 	seed := flag.Int64("seed", 1, "random-chain generator seed")
 	deadlineMillis := flag.Int64("deadline-ms", 0, "per-request deadline_ms to send (0 = server default)")
+	retries := flag.Int("retries", 3, "extra attempts per request on 429 queue_full, with jittered exponential backoff (0 = fail fast)")
 	mergeBound := flag.Int("merge-bound", 0, "drive one-shot /v1/analyze requests with this merge_bound instead of sessions (0 = session mode, -1 = unbounded, >= 2 = bounded)")
 	doDelete := flag.Bool("delete", false, "delete each session after its chain (default: leave resident, for sessions-per-GB measurement)")
 	out := flag.String("out", "", "also write the JSON report to this file")
@@ -82,6 +89,7 @@ func main() {
 		steps:          *steps,
 		seed:           *seed,
 		deadlineMillis: *deadlineMillis,
+		retries:        *retries,
 		doDelete:       *doDelete,
 		mergeBound:     *mergeBound,
 	})
@@ -148,6 +156,29 @@ func postJSON(client *http.Client, url string, body, ok any) error {
 		return json.NewDecoder(resp.Body).Decode(ok)
 	}
 	return nil
+}
+
+// postRetryJSON is postJSON plus the client-side answer to transient
+// overload: a 429 queue_full rejection is retried after a jittered
+// exponential backoff, at most retries extra attempts. Every other error —
+// and queue_full once the budget is spent — is the caller's problem. Each
+// repeat is counted in rec so the report shows how hard the run leaned on
+// the retry path.
+func postRetryJSON(client *http.Client, url string, body, ok any, retries int, rec *recorder) error {
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := postJSON(client, url, body, ok)
+		if err == nil || err.Error() != "queue_full" || attempt >= retries {
+			return err
+		}
+		rec.addRetry()
+		// Sleep in [backoff/2, backoff] — the jitter decorrelates workers
+		// that were rejected by the same full queue — then double, capped.
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 func getJSON(client *http.Client, url string, ok any) error {
@@ -233,7 +264,10 @@ type loadConfig struct {
 	mix                             string
 	seed                            int64
 	deadlineMillis                  int64
-	doDelete                        bool
+	// retries bounds how many extra attempts a 429 queue_full rejection
+	// earns, each preceded by a jittered exponential backoff.
+	retries  int
+	doDelete bool
 	// mergeBound != 0 switches the drive from session chains to one-shot
 	// /v1/analyze requests with merge_bound set on every pair of adjacent
 	// versions — the service path that exercises state merging under load
@@ -283,12 +317,19 @@ func buildChains(cfg loadConfig) ([]chainSpec, error) {
 	return out, nil
 }
 
-// recorder collects client-side latencies and error codes.
+// recorder collects client-side latencies, error codes and retry counts.
 type recorder struct {
 	mu        sync.Mutex
 	latencies map[string][]float64 // endpoint -> ms samples (successes)
 	errors    map[string]int64     // wire error code -> count
 	requests  int64
+	retries   int64 // attempts repeated after a 429 queue_full rejection
+}
+
+func (r *recorder) addRetry() {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
 }
 
 func newRecorder() *recorder {
@@ -355,6 +396,7 @@ type Report struct {
 	} `json:"config"`
 	WallMillis    int64                    `json:"wall_ms"`
 	Requests      int64                    `json:"requests"`
+	Retries       int64                    `json:"retries"`
 	ThroughputRPS float64                  `json:"throughput_rps"`
 	Latency       map[string]LatencyReport `json:"latency_ms"`
 	Errors        map[string]int64         `json:"errors"`
@@ -396,6 +438,7 @@ func runLoad(client *http.Client, base string, cfg loadConfig) (*Report, error) 
 	report.WallMillis = wall.Milliseconds()
 	rec.mu.Lock()
 	report.Requests = rec.requests
+	report.Retries = rec.retries
 	report.ThroughputRPS = float64(rec.requests) / wall.Seconds()
 	report.Latency = make(map[string]LatencyReport, len(rec.latencies))
 	for endpoint, samples := range rec.latencies {
@@ -422,14 +465,14 @@ func driveChain(client *http.Client, base string, spec chainSpec, tenant string,
 	if cfg.mergeBound != 0 {
 		for i := 1; i < len(spec.versions); i++ {
 			start := time.Now()
-			err := postJSON(client, base+"/v1/analyze", service.AnalyzeRequest{
+			err := postRetryJSON(client, base+"/v1/analyze", service.AnalyzeRequest{
 				Tenant:         tenant,
 				BaseSrc:        spec.versions[i-1],
 				ModSrc:         spec.versions[i],
 				Proc:           spec.proc,
 				MergeBound:     cfg.mergeBound,
 				DeadlineMillis: cfg.deadlineMillis,
-			}, nil)
+			}, nil, cfg.retries, rec)
 			rec.observe("analyze", time.Since(start), err)
 			if err != nil {
 				return
@@ -439,23 +482,23 @@ func driveChain(client *http.Client, base string, spec chainSpec, tenant string,
 	}
 	var created service.CreateSessionResponse
 	start := time.Now()
-	err := postJSON(client, base+"/v1/sessions", service.CreateSessionRequest{
+	err := postRetryJSON(client, base+"/v1/sessions", service.CreateSessionRequest{
 		Tenant:         tenant,
 		InitialSrc:     spec.versions[0],
 		Proc:           spec.proc,
 		DeadlineMillis: cfg.deadlineMillis,
-	}, &created)
+	}, &created, cfg.retries, rec)
 	rec.observe("create", time.Since(start), err)
 	if err != nil {
 		return
 	}
 	for _, next := range spec.versions[1:] {
 		start = time.Now()
-		err := postJSON(client, base+"/v1/sessions/"+created.SessionID+"/advance", service.AdvanceRequest{
+		err := postRetryJSON(client, base+"/v1/sessions/"+created.SessionID+"/advance", service.AdvanceRequest{
 			Tenant:         tenant,
 			NextSrc:        next,
 			DeadlineMillis: cfg.deadlineMillis,
-		}, nil)
+		}, nil, cfg.retries, rec)
 		rec.observe("advance", time.Since(start), err)
 		if err != nil {
 			return

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dise/internal/service"
+)
+
+// TestPostRetryQueueFull pins the client-side overload contract: 429
+// queue_full is retried with backoff until the server admits the request,
+// each repeat is counted, and the final success is reported cleanly.
+func TestPostRetryQueueFull(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"queue full"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	rec := newRecorder()
+	client := &http.Client{Timeout: 5 * time.Second}
+	if err := postRetryJSON(client, srv.URL, struct{}{}, nil, 3, rec); err != nil {
+		t.Fatalf("retrying post failed: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two rejections + success)", n)
+	}
+	if rec.retries != 2 {
+		t.Fatalf("recorder counted %d retries, want 2", rec.retries)
+	}
+}
+
+// TestPostRetryBudgetExhausted pins that the retry budget is bounded: a
+// server that never admits the request yields the queue_full error after
+// exactly retries+1 attempts.
+func TestPostRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"queue full"}}`))
+	}))
+	defer srv.Close()
+
+	rec := newRecorder()
+	client := &http.Client{Timeout: 5 * time.Second}
+	err := postRetryJSON(client, srv.URL, struct{}{}, nil, 2, rec)
+	if err == nil || err.Error() != "queue_full" {
+		t.Fatalf("want queue_full after exhausted budget, got %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (initial + 2 retries)", n)
+	}
+	if rec.retries != 2 {
+		t.Fatalf("recorder counted %d retries, want 2", rec.retries)
+	}
+}
+
+// TestPostRetryNonRetryableError pins that only the overload code retries:
+// any other wire error fails fast on the first attempt.
+func TestPostRetryNonRetryableError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"session_not_found","message":"gone"}}`))
+	}))
+	defer srv.Close()
+
+	rec := newRecorder()
+	client := &http.Client{Timeout: 5 * time.Second}
+	err := postRetryJSON(client, srv.URL, service.AdvanceRequest{Tenant: "t"}, nil, 5, rec)
+	if err == nil || err.Error() != "session_not_found" {
+		t.Fatalf("want session_not_found, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no retry on non-overload errors)", n)
+	}
+	if rec.retries != 0 {
+		t.Fatalf("recorder counted %d retries, want 0", rec.retries)
+	}
+}

@@ -241,6 +241,22 @@ type SolverStats struct {
 	BoxConflicts  int    `json:"box_conflicts"`
 	FullSolves    int    `json:"full_solves"`
 	FrameMemoHits int    `json:"frame_memo_hits"`
+
+	// Resilience counters of the external-solver path ("smtlib" backend,
+	// alone or inside a portfolio). All zero — and omitted from JSON — for
+	// purely in-process backends. Every rung of the degradation ladder
+	// moves one of these; none of them ever moves a verdict.
+	ExtSolves       int `json:"ext_solves,omitempty"`
+	ExtAnswers      int `json:"ext_answers,omitempty"`
+	ExtUnknowns     int `json:"ext_unknowns,omitempty"`
+	ExtTimeouts     int `json:"ext_timeouts,omitempty"`
+	ExtRestarts     int `json:"ext_restarts,omitempty"`
+	ExtBreakerTrips int `json:"ext_breaker_trips,omitempty"`
+	FallbackSolves  int `json:"fallback_solves,omitempty"`
+	MemberFailures  int `json:"member_failures,omitempty"`
+	// CheckPanics counts Backend.Check panics the engine contained
+	// (recovered, reported Unknown, kept exploring).
+	CheckPanics int `json:"check_panics,omitempty"`
 }
 
 // Add accumulates one run's solver counters into an aggregate — the
@@ -263,6 +279,15 @@ func (s *SolverStats) Add(o SolverStats) {
 	s.BoxConflicts += o.BoxConflicts
 	s.FullSolves += o.FullSolves
 	s.FrameMemoHits += o.FrameMemoHits
+	s.ExtSolves += o.ExtSolves
+	s.ExtAnswers += o.ExtAnswers
+	s.ExtUnknowns += o.ExtUnknowns
+	s.ExtTimeouts += o.ExtTimeouts
+	s.ExtRestarts += o.ExtRestarts
+	s.ExtBreakerTrips += o.ExtBreakerTrips
+	s.FallbackSolves += o.FallbackSolves
+	s.MemberFailures += o.MemberFailures
+	s.CheckPanics += o.CheckPanics
 }
 
 // Add accumulates one session step's memo counters into an aggregate. In the
@@ -345,6 +370,16 @@ func statsOf(s symexec.Stats, pcs int, cfg symexec.Config) Stats {
 			BoxConflicts:  s.Solver.BoxConflicts,
 			FullSolves:    s.Solver.FullSolves,
 			FrameMemoHits: s.Solver.FrameMemoHits,
+
+			ExtSolves:       s.Solver.ExtSolves,
+			ExtAnswers:      s.Solver.ExtAnswers,
+			ExtUnknowns:     s.Solver.ExtUnknowns,
+			ExtTimeouts:     s.Solver.ExtTimeouts,
+			ExtRestarts:     s.Solver.ExtRestarts,
+			ExtBreakerTrips: s.Solver.ExtBreakerTrips,
+			FallbackSolves:  s.Solver.FallbackSolves,
+			MemberFailures:  s.Solver.MemberFailures,
+			CheckPanics:     s.CheckPanics,
 		},
 		Merge: merge,
 	}

@@ -31,7 +31,10 @@ var Analyzer = &analysis.Analyzer{
 
 // enginePkgs are the packages whose loops sit under the cancellation
 // contract.
-var enginePkgs = []string{"symexec", "solver", "dise", "constraint"}
+var enginePkgs = []string{
+	"symexec", "solver", "dise", "constraint",
+	"constraint/smtlib", "constraint/portfolio", "constraint/chaos",
+}
 
 // hookWords are identifier fragments that witness a cancellation check.
 var hookWords = []string{"interrupt", "budget", "stop", "cancel", "done", "ctx", "deadline"}

@@ -136,7 +136,7 @@ func (b *bitvecBackend) ResetStats()  { b.stats = Stats{Backend: BackendBitvec} 
 func (b *bitvecBackend) Check() Result {
 	b.stats.Checks++
 	res := b.check()
-	b.stats.tally(res)
+	b.stats.Tally(res)
 	b.lastModel = nil
 	if res.Sat {
 		b.lastModel = res.Model

@@ -24,14 +24,21 @@
 //     arithmetic, bitwise operators and unsigned comparisons (bvexpr.go),
 //     opening scenarios the unbounded interval domain cannot express.
 //
-// A third backend is added by implementing Backend and registering a
-// constructor in New. Every backend treats an exhausted budget or an
-// interrupt as an Unknown result, which callers treat as unsatisfiable —
-// identical semantics across backends, as SPF does (paper §4.1).
+// Two more ship as self-registering subpackages (imported for side effect
+// by the dise facade): "smtlib", a supervised external SMT-LIB2 process
+// with an in-process fallback (internal/constraint/smtlib), and
+// "portfolio", which races several member backends per Check
+// (internal/constraint/portfolio). Further backends are added by
+// implementing Backend and calling Register from an init function. Every
+// backend treats an exhausted budget or an interrupt as an Unknown result,
+// which callers treat as unsatisfiable — identical semantics across
+// backends, as SPF does (paper §4.1).
 package constraint
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"dise/internal/solver"
 	"dise/internal/sym"
@@ -75,6 +82,15 @@ type Options struct {
 	// 64, which makes bitvec agree with the interval backend on programs
 	// whose arithmetic stays far from the width boundary.
 	Width int
+	// SMT configures the external-process "smtlib" backend (solver binary,
+	// deadlines, restart/breaker policy). The zero value selects
+	// auto-discovery with serviceable defaults; irrelevant to the pure-Go
+	// backends.
+	SMT SMTOptions
+	// Portfolio lists the member backend names of the "portfolio"
+	// meta-backend. Empty selects its default member set; irrelevant to
+	// every other backend.
+	Portfolio []string
 }
 
 // Result is the outcome of a Check.
@@ -125,6 +141,20 @@ type Stats struct {
 	Propagations  int // inner-solver domain-tightening passes
 	BoxSnapshots  int // propagation-state snapshots taken (interval)
 	FrameMemoHits int // verdict answered by the top frame's memo
+
+	// Resilience counters of the external-process machinery (the smtlib
+	// backend's supervision ladder and the portfolio's member isolation).
+	// They are cost/health observability only: every degradation step ends
+	// in a verdict from the in-process fallback, so these counters moving
+	// never changes an exploration's outcome.
+	ExtSolves       int // check-sat conversations attempted with an external solver
+	ExtAnswers      int // definitive external verdicts adopted (sat ones model-validated)
+	ExtUnknowns     int // Checks the external layer could not decide (absent binary, crash, timeout, garbage, breaker open, "unknown" reply)
+	ExtTimeouts     int // per-check deadlines that expired, killing the process
+	ExtRestarts     int // external solver processes spawned (first launch included)
+	ExtBreakerTrips int // circuit-breaker opens after consecutive failures
+	FallbackSolves  int // verdicts supplied by the in-process fallback backend
+	MemberFailures  int // portfolio members excluded after a panic
 }
 
 // Add accumulates o into s, field by field. Schedulers running one backend
@@ -151,6 +181,14 @@ func (s *Stats) Add(o Stats) {
 	s.Propagations += o.Propagations
 	s.BoxSnapshots += o.BoxSnapshots
 	s.FrameMemoHits += o.FrameMemoHits
+	s.ExtSolves += o.ExtSolves
+	s.ExtAnswers += o.ExtAnswers
+	s.ExtUnknowns += o.ExtUnknowns
+	s.ExtTimeouts += o.ExtTimeouts
+	s.ExtRestarts += o.ExtRestarts
+	s.ExtBreakerTrips += o.ExtBreakerTrips
+	s.FallbackSolves += o.FallbackSolves
+	s.MemberFailures += o.MemberFailures
 }
 
 // Backend is one constraint solver with an assertion stack.
@@ -181,6 +219,36 @@ type Backend interface {
 	ResetStats()
 }
 
+// registry holds the backend constructors added by Register, keyed by
+// name. The built-in backends stay in New's switch; the map only carries
+// subpackage and test registrations.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(Options) (Backend, error){}
+)
+
+// Register adds a backend constructor under name, making it available to
+// New (and so to every -solver flag and facade option). It is intended to
+// be called from init functions of backend subpackages — smtlib and
+// portfolio register themselves this way — and panics on a duplicate or
+// built-in name: two packages claiming one name is a wiring bug, not a
+// runtime condition.
+func Register(name string, ctor func(Options) (Backend, error)) {
+	if name == "" || ctor == nil {
+		panic("constraint: Register needs a name and a constructor")
+	}
+	switch name {
+	case BackendInterval, BackendIntervalNoReuse, BackendBitvec:
+		panic(fmt.Sprintf("constraint: Register(%q) collides with a built-in backend", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("constraint: backend %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
 // New constructs a backend by registry name. The empty name selects the
 // default interval backend.
 func New(name string, opts Options) (Backend, error) {
@@ -192,17 +260,33 @@ func New(name string, opts Options) (Backend, error) {
 	case BackendBitvec:
 		return newBitvecBackend(opts)
 	}
-	return nil, fmt.Errorf("constraint: unknown solver backend %q (have %s, %s, %s)",
-		name, BackendInterval, BackendIntervalNoReuse, BackendBitvec)
+	registryMu.RLock()
+	ctor := registry[name]
+	registryMu.RUnlock()
+	if ctor != nil {
+		return ctor(opts)
+	}
+	return nil, fmt.Errorf("constraint: unknown solver backend %q (have %v)", name, Names())
 }
 
-// Names lists the registered backend names.
+// Names lists the registered backend names: the built-ins in their
+// historical order, then the Register-ed ones sorted for determinism.
 func Names() []string {
-	return []string{BackendInterval, BackendIntervalNoReuse, BackendBitvec}
+	out := []string{BackendInterval, BackendIntervalNoReuse, BackendBitvec}
+	registryMu.RLock()
+	extra := make([]string, 0, len(registry))
+	for name := range registry {
+		extra = append(extra, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
-// tally folds one result into the stats counters.
-func (s *Stats) tally(r Result) {
+// Tally folds one result into the verdict counters. Backends outside this
+// package (smtlib, portfolio) use it to keep their Sat/Unsat/Unknown
+// bookkeeping identical to the built-ins'.
+func (s *Stats) Tally(r Result) {
 	switch {
 	case r.Sat:
 		s.Sat++

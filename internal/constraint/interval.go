@@ -144,7 +144,7 @@ func (b *intervalBackend) ResetStats() {
 func (b *intervalBackend) Check() Result {
 	b.stats.Checks++
 	res := b.check()
-	b.stats.tally(res)
+	b.stats.Tally(res)
 	b.lastModel = nil
 	if res.Sat {
 		b.lastModel = res.Model

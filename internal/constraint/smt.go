@@ -1,0 +1,65 @@
+package constraint
+
+import "time"
+
+// SMTProcess is one external solver conversation as the smtlib backend's
+// supervision layer sees it: a line-oriented SMT-LIB2 transport. The
+// production implementation wraps an exec.Cmd over the solver binary's
+// stdin/stdout; tests and the chaos package substitute in-process fakes to
+// exercise the supervision ladder (deadline, kill, restart, breaker)
+// without any solver installed.
+//
+// An SMTProcess serves one goroutine's Write calls; ReadLine is called
+// from a dedicated reader goroutine and must unblock with an error once
+// Kill is called (or the process dies), so the supervisor never leaks a
+// reader.
+type SMTProcess interface {
+	// Write sends one command line (no trailing newline). An error marks
+	// the process dead — the supervisor kills and, within its restart
+	// budget, respawns.
+	Write(line string) error
+	// ReadLine blocks for the next reply line. It returns an error (EOF)
+	// when the process exits or Kill is called.
+	ReadLine() (string, error)
+	// Kill terminates the process immediately. It is idempotent and must
+	// unblock any in-flight ReadLine.
+	Kill()
+}
+
+// SMTOptions tunes the external-process smtlib backend. The zero value
+// auto-discovers a solver binary and applies the defaults documented on
+// each field; every failure mode degrades the external attempt to Unknown
+// and the backend's in-process fallback supplies the verdict, so none of
+// these knobs can change an analysis result — only its Stats.
+type SMTOptions struct {
+	// SolverPath is the solver binary ("z3", "/usr/bin/cvc5", ...). Empty
+	// auto-discovers a known solver on PATH; if none exists the external
+	// layer is disabled and every Check counts an ExtUnknown.
+	SolverPath string
+	// SolverArgs overrides the argument list. Empty selects the known
+	// incremental-mode arguments for the discovered binary (e.g. z3 -in).
+	SolverArgs []string
+	// CheckTimeout is the per-check-sat deadline; on expiry the process is
+	// killed and the check degrades to Unknown. Default 5s.
+	CheckTimeout time.Duration
+	// RestartBackoff is the base delay before respawning a crashed
+	// process; it doubles with jitter per consecutive failure up to 100x.
+	// Default 50ms.
+	RestartBackoff time.Duration
+	// MaxRestarts bounds process spawns per backend instance; beyond it
+	// the external layer is disabled permanently (the end of the
+	// degradation ladder). Default 8.
+	MaxRestarts int
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker open. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before one
+	// half-open probe is allowed. Default 10s.
+	BreakerCooldown time.Duration
+	// Launch overrides how a process is started (tests, chaos injection).
+	// Nil launches SolverPath/SolverArgs via exec.
+	Launch func() (SMTProcess, error)
+	// Clock overrides time.Now in the supervision layer (deterministic
+	// breaker/backoff tests). Nil means time.Now.
+	Clock func() time.Time
+}

@@ -1,0 +1,164 @@
+package smtlib
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dise/internal/constraint"
+	"dise/internal/solver"
+	"dise/internal/sym"
+)
+
+// scriptPath returns an executable testdata fake-solver script.
+func scriptPath(t *testing.T, name string) string {
+	t.Helper()
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("no sh on PATH")
+	}
+	p, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(p, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func execBackend(t *testing.T, script string, tune func(*constraint.SMTOptions)) constraint.Backend {
+	t.Helper()
+	o := constraint.Options{
+		Domains: map[string]solver.Interval{"X": {Lo: 0, Hi: 10}},
+		SMT: constraint.SMTOptions{
+			SolverPath:     scriptPath(t, script),
+			CheckTimeout:   200 * time.Millisecond,
+			RestartBackoff: time.Millisecond,
+		},
+	}
+	if tune != nil {
+		tune(&o.SMT)
+	}
+	return mustBackend(t, o)
+}
+
+// The exec transport against real subprocesses: a solver that only ever
+// says "unknown" keeps the conversation healthy while every verdict comes
+// from the fallback.
+func TestExecTransportUnknownSolver(t *testing.T) {
+	b := execBackend(t, "unknown-solver.sh", nil)
+	b.Push()
+	b.Assert(xGT(5))
+	if res := b.Check(); !res.Sat {
+		t.Fatalf("want sat, got %+v", res)
+	}
+	b.Pop()
+	b.Push()
+	b.Assert(xGT(50))
+	if res := b.Check(); res.Sat || res.Unknown {
+		t.Fatalf("want unsat, got %+v", res)
+	}
+	st := b.Stats()
+	if st.ExtSolves != 2 || st.ExtUnknowns != 2 || st.ExtRestarts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.ExtBreakerTrips != 0 {
+		t.Fatalf("unknown replies tripped the breaker: %+v", st)
+	}
+}
+
+// A subprocess that exits mid-check is detected as a crash, restarted
+// under backoff, and — since it always crashes — eventually hits the
+// restart budget; verdicts stay correct throughout.
+func TestExecTransportCrashingSolver(t *testing.T) {
+	b := execBackend(t, "crash-solver.sh", func(o *constraint.SMTOptions) {
+		o.MaxRestarts = 2
+		o.BreakerThreshold = 100
+	})
+	b.Push()
+	b.Assert(xGT(5))
+	for i := 0; i < 4; i++ {
+		if res := b.Check(); !res.Sat {
+			t.Fatalf("check %d: want sat, got %+v", i, res)
+		}
+		time.Sleep(5 * time.Millisecond) // outlive the tiny backoff
+	}
+	st := b.Stats()
+	if st.ExtRestarts != 2 {
+		t.Fatalf("restart budget not honored over exec transport: %+v", st)
+	}
+	if st.ExtUnknowns != 4 || st.FallbackSolves != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// A hung subprocess is killed at the deadline; the check still answers.
+func TestExecTransportHangingSolver(t *testing.T) {
+	b := execBackend(t, "hang-solver.sh", func(o *constraint.SMTOptions) {
+		o.CheckTimeout = 50 * time.Millisecond
+	})
+	b.Push()
+	b.Assert(xGT(5))
+	start := time.Now()
+	res := b.Check()
+	if !res.Sat {
+		t.Fatalf("want sat, got %+v", res)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("hang not bounded by deadline (took %v)", since)
+	}
+	st := b.Stats()
+	if st.ExtTimeouts != 1 || st.ExtUnknowns != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Gated end-to-end test against a real solver when one is installed:
+// every verdict the external layer adopts must agree with a pure interval
+// backend over the same stacks.
+func TestRealSolverAgreesWithInterval(t *testing.T) {
+	path, args := discoverSolver()
+	if path == "" {
+		t.Skip("no SMT solver binary on PATH")
+	}
+	domains := map[string]solver.Interval{
+		"X": {Lo: 0, Hi: 100},
+		"Y": {Lo: -50, Hi: 50},
+	}
+	ext := mustBackend(t, constraint.Options{
+		Domains: domains,
+		SMT:     constraint.SMTOptions{SolverPath: path, SolverArgs: args},
+	})
+	ref, err := constraint.New(constraint.BackendInterval, constraint.Options{Domains: domains})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := [][]sym.Expr{
+		{sym.Cmp(sym.OpGT, sym.V("X"), sym.Int(10)), sym.Cmp(sym.OpLT, sym.V("X"), sym.Int(20))},
+		{sym.Cmp(sym.OpGT, sym.V("X"), sym.Int(200))},
+		{sym.Cmp(sym.OpEQ, sym.Add(sym.V("X"), sym.V("Y")), sym.Int(7))},
+		{sym.Cmp(sym.OpEQ, sym.Mod(sym.V("Y"), sym.Int(7)), sym.Int(3)),
+			sym.Cmp(sym.OpLT, sym.V("Y"), sym.Int(0))},
+		{sym.Cmp(sym.OpEQ, sym.Div(sym.V("Y"), sym.Int(4)), sym.Int(-2))},
+		{sym.AndE(sym.Cmp(sym.OpNE, sym.V("X"), sym.V("Y")), sym.Cmp(sym.OpGE, sym.V("Y"), sym.Int(49)))},
+	}
+	for i, stack := range stacks {
+		ext.Push()
+		ref.Push()
+		for _, c := range stack {
+			ext.Assert(c)
+			ref.Assert(c)
+		}
+		got, want := ext.Check(), ref.Check()
+		if got.Sat != want.Sat || got.Unknown != want.Unknown {
+			t.Errorf("stack %d: external %+v vs interval %+v", i, got, want)
+		}
+		ext.Pop()
+		ref.Pop()
+	}
+	if st := ext.Stats(); st.ExtAnswers == 0 {
+		t.Errorf("real solver adopted no answers: %+v", st)
+	}
+}

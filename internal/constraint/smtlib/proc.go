@@ -1,0 +1,103 @@
+package smtlib
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"dise/internal/constraint"
+)
+
+// execProcess is the production SMTProcess: a solver binary on
+// stdin/stdout. Its lifetime is bounded three ways: the supervisor's Kill,
+// the process's own exit (the wait goroutine reaps it), and — as a last
+// resort for a backend that is simply dropped — a GC cleanup that kills
+// the child so an abandoned backend never leaks a solver process.
+type execProcess struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   *bufio.Reader
+	kill  sync.Once
+}
+
+// launchExec starts path with args, wiring the SMT-LIB2 conversation over
+// its standard streams.
+func launchExec(path string, args []string) (constraint.SMTProcess, error) {
+	cmd := exec.Command(path, args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &execProcess{cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)}
+	// Reap on exit however it happens (our kill, a crash, or EOF-exit).
+	go func() { _ = cmd.Wait() }()
+	runtime.AddCleanup(p, func(pr *os.Process) { _ = pr.Kill() }, cmd.Process)
+	return p, nil
+}
+
+func (p *execProcess) Write(line string) error {
+	_, err := io.WriteString(p.stdin, line+"\n")
+	return err
+}
+
+func (p *execProcess) ReadLine() (string, error) {
+	return p.out.ReadString('\n')
+}
+
+func (p *execProcess) Kill() {
+	p.kill.Do(func() {
+		_ = p.stdin.Close()
+		_ = p.cmd.Process.Kill()
+	})
+}
+
+// knownSolvers maps solver binary basenames to the arguments that put
+// them in incremental stdin mode with models enabled. Discovery walks the
+// list in order; an explicitly configured path gets its basename's
+// arguments, or none for an unrecognized binary.
+var knownSolvers = []struct {
+	name string
+	args []string
+}{
+	{"z3", []string{"-in", "-smt2"}},
+	{"cvc5", []string{"--incremental", "--produce-models", "--lang", "smt2"}},
+	{"cvc4", []string{"--incremental", "--produce-models", "--lang", "smt2"}},
+	{"yices-smt2", []string{"--incremental"}},
+	{"mathsat", nil},
+}
+
+// discoverSolver finds the first known solver on PATH, returning ""
+// (external layer disabled) when none exists — the no-binary degradation
+// the CI smoke step exercises.
+func discoverSolver() (path string, args []string) {
+	for _, k := range knownSolvers {
+		if p, err := exec.LookPath(k.name); err == nil {
+			return p, k.args
+		}
+	}
+	return "", nil
+}
+
+// argsFor returns the known incremental-mode arguments for an explicitly
+// configured binary path.
+func argsFor(path string) []string {
+	base := filepath.Base(path)
+	for _, k := range knownSolvers {
+		if base == k.name {
+			return k.args
+		}
+	}
+	return nil
+}

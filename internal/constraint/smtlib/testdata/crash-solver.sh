@@ -1,0 +1,7 @@
+#!/bin/sh
+# Fake SMT solver that dies the moment it is asked anything hard.
+while IFS= read -r line; do
+  case "$line" in
+    "(check-sat)") exit 137 ;;
+  esac
+done

@@ -121,6 +121,8 @@ func statusOf(err error) (int, string) {
 		return http.StatusGatewayTimeout, dise.Cancelled.Code()
 	case errors.Is(err, dise.ErrInvalidConfig):
 		return http.StatusInternalServerError, dise.InvalidConfig.Code()
+	case errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable, "shutting_down"
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, errSessionCap):
@@ -136,6 +138,9 @@ func statusOf(err error) (int, string) {
 // errBadRequest classifies malformed bodies and missing required fields.
 var errBadRequest = errors.New("bad request")
 
+// errShuttingDown rejects requests arriving after BeginShutdown.
+var errShuttingDown = errors.New("service is shutting down")
+
 // maxBodyBytes bounds request bodies (source texts are small; 8 MiB is
 // generous) so a misbehaving client cannot balloon the daemon.
 const maxBodyBytes = 8 << 20
@@ -150,6 +155,51 @@ func (s *Service) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// withDrain is the graceful-shutdown front door: it tracks every request
+// in the drain gate and, once BeginShutdown has been called, rejects new
+// arrivals with 503 shutting_down while the ones already inside finish.
+// The health endpoint stays open so orchestrators can watch the drain.
+func (s *Service) withDrain(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			// /healthz and /metrics are read-only and cheap; keeping them
+			// available during the drain is what makes it observable.
+			next.ServeHTTP(w, r)
+			return
+		}
+		if !s.gate.enter() {
+			s.metrics.observeReject()
+			writeError(w, errShuttingDown)
+			return
+		}
+		defer s.gate.exit()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRecovery contains handler panics: the client gets a 500 with the
+// standard error envelope instead of a torn connection, the counter moves
+// (/metrics panics_recovered), and the daemon lives on. The recovery sits
+// outside withDrain so a panicking handler still exits the drain gate via
+// its own defer before this one fires.
+func (s *Service) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.observePanic()
+				// The handler may have panicked after starting its reply;
+				// WriteHeader on a started response is a no-op plus a log
+				// line, which is the best that can be done at this point.
+				writeJSON(w, http.StatusInternalServerError, ErrorPayload{Error: ErrorDetail{
+					Code:    "internal_error",
+					Message: fmt.Sprintf("internal error: recovered from panic: %v", rec),
+				}})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // decode reads one JSON body into dst.

@@ -113,6 +113,27 @@ type metrics struct {
 	// totals accumulates every successful run's Stats (solver and memo
 	// blocks included), the cross-request view /metrics serves.
 	totals dise.Stats
+	// panics counts handler panics the recovery middleware contained;
+	// shutdownRejects counts requests refused with 503 during a drain.
+	panics          int64
+	shutdownRejects int64
+}
+
+// observePanic records one contained handler panic.
+func (m *metrics) observePanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+	m.errors["internal_error"]++
+}
+
+// observeReject records one request refused because the service is
+// draining.
+func (m *metrics) observeReject() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shutdownRejects++
+	m.errors["shutting_down"]++
 }
 
 func newMetrics() *metrics {
@@ -170,6 +191,13 @@ type Metrics struct {
 
 	Requests map[string]int64 `json:"requests"`
 	Errors   map[string]int64 `json:"errors"`
+
+	// PanicsRecovered counts handler panics the recovery middleware
+	// contained (each also served a 500 internal_error envelope);
+	// ShutdownRejects counts requests refused with 503 shutting_down
+	// after BeginShutdown.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	ShutdownRejects int64 `json:"shutdown_rejects"`
 
 	// SolverStats, MemoStats and MergeStats are the cumulative per-run
 	// statistics of every successful analysis, aggregated via
@@ -246,6 +274,8 @@ func (s *Service) snapshot() Metrics {
 		out.Errors[k] = v
 	}
 	totals := s.metrics.totals
+	out.PanicsRecovered = s.metrics.panics
+	out.ShutdownRejects = s.metrics.shutdownRejects
 	s.metrics.mu.Unlock()
 
 	out.SolverStats = totals.Solver

@@ -26,7 +26,9 @@
 package service
 
 import (
+	"context"
 	"net/http"
+	"sync"
 	"time"
 
 	"dise"
@@ -129,6 +131,67 @@ type Service struct {
 	adm      *admission
 	metrics  *metrics
 	started  time.Time
+	gate     drainGate
+}
+
+// drainGate tracks in-flight requests for graceful shutdown. Once draining,
+// new requests are rejected at the front door (503 shutting_down) while
+// requests already past it run to completion; Drain blocks until the last
+// one leaves (or the context expires).
+type drainGate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // lazily built; closed once draining with no in-flight
+	closed   bool
+}
+
+// enter admits one request into the gate; false means the service is
+// draining and the request must be rejected.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+// exit retires one admitted request, releasing Drain when the last one
+// leaves after shutdown began.
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	if g.draining && g.inflight == 0 {
+		g.releaseLocked()
+	}
+}
+
+// begin flips the gate to draining and returns a channel closed once no
+// admitted request remains (already closed if none is running).
+func (g *drainGate) begin() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.draining = true
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	if g.inflight == 0 {
+		g.releaseLocked()
+	}
+	return g.idle
+}
+
+func (g *drainGate) releaseLocked() {
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	if !g.closed {
+		close(g.idle)
+		g.closed = true
+	}
 }
 
 // New builds a Service and starts its session-store janitor. The caller
@@ -167,8 +230,37 @@ func (s *Service) Close() {
 	s.store.close()
 }
 
-// Handler returns the service's HTTP handler (see http.go for the routes).
-func (s *Service) Handler() http.Handler { return s.routes() }
+// Handler returns the service's HTTP handler (see http.go for the routes),
+// wrapped in the panic-recovery and shutdown-drain middleware.
+func (s *Service) Handler() http.Handler { return s.withRecovery(s.withDrain(s.routes())) }
+
+// BeginShutdown puts the service into draining mode: every request that
+// arrives after this call is rejected with 503 shutting_down, while
+// requests already executing continue undisturbed. Idempotent.
+func (s *Service) BeginShutdown() { s.gate.begin() }
+
+// Drain blocks until every in-flight request has completed or ctx expires
+// (its error is returned in that case). Call BeginShutdown first; Drain on
+// a service that is not draining waits for the signal that BeginShutdown
+// would have sent and therefore only returns on ctx expiry.
+func (s *Service) Drain(ctx context.Context) error {
+	s.gate.mu.Lock()
+	idle := s.gate.idle
+	if idle == nil {
+		s.gate.idle = make(chan struct{})
+		idle = s.gate.idle
+		if s.gate.draining && s.gate.inflight == 0 {
+			s.gate.releaseLocked()
+		}
+	}
+	s.gate.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // deadlineFor resolves one request's deadline: the client's requested
 // deadline_ms clamped to MaxDeadline, or DefaultDeadline when absent.

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dise"
+	"dise/internal/constraint"
+)
+
+// blockCtl steers the test-svc-block backend: while armed, the first Check
+// of a request parks on release (announcing itself on entered), giving the
+// test a request that is provably in flight inside the drain gate.
+var blockCtl struct {
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+type blockingBackend struct{ constraint.Backend }
+
+func (b blockingBackend) Check() constraint.Result {
+	blockCtl.mu.Lock()
+	armed, entered, release := blockCtl.armed, blockCtl.entered, blockCtl.release
+	blockCtl.mu.Unlock()
+	if armed {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	return b.Backend.Check()
+}
+
+var registerBlocking sync.Once
+
+func armBlocking(t *testing.T) (entered, release chan struct{}) {
+	t.Helper()
+	registerBlocking.Do(func() {
+		constraint.Register("test-svc-block", func(o constraint.Options) (constraint.Backend, error) {
+			inner, err := constraint.New(constraint.BackendInterval, o)
+			if err != nil {
+				return nil, err
+			}
+			return blockingBackend{inner}, nil
+		})
+	})
+	entered = make(chan struct{}, 1)
+	release = make(chan struct{})
+	blockCtl.mu.Lock()
+	blockCtl.armed, blockCtl.entered, blockCtl.release = true, entered, release
+	blockCtl.mu.Unlock()
+	t.Cleanup(func() {
+		blockCtl.mu.Lock()
+		blockCtl.armed = false
+		blockCtl.mu.Unlock()
+	})
+	return entered, release
+}
+
+// TestServiceGracefulDrain pins the shutdown contract: a request in flight
+// when BeginShutdown fires completes normally, new mutating requests are
+// refused with 503 shutting_down (and counted), the read-only endpoints stay
+// open so the drain is observable, and Drain returns once the last in-flight
+// request leaves — but not before.
+func TestServiceGracefulDrain(t *testing.T) {
+	entered, release := armBlocking(t)
+	svc2, srv2 := newTestServer(t, Config{
+		AnalyzerOptions: []dise.Option{dise.WithSolverBackend("test-svc-block")},
+	})
+	proc, srcs := wbsChain()
+
+	type reply struct {
+		status int
+		code   string
+	}
+	done := make(chan reply, 1)
+	go func() {
+		status, code := post(t, srv2.Client(), srv2.URL+"/v1/analyze",
+			AnalyzeRequest{Tenant: "t1", BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}, nil)
+		done <- reply{status, code}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the solver")
+	}
+
+	svc2.BeginShutdown()
+
+	// New mutating requests are turned away at the front door.
+	if status, code := post(t, srv2.Client(), srv2.URL+"/v1/analyze",
+		AnalyzeRequest{Tenant: "t1", BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}, nil); status != http.StatusServiceUnavailable || code != "shutting_down" {
+		t.Fatalf("post-shutdown analyze: status %d code %q, want 503 shutting_down", status, code)
+	}
+
+	// The read-only endpoints remain open; the reject counter moved.
+	var metrics Metrics
+	if status := getJSON(t, srv2.Client(), srv2.URL+"/metrics", &metrics); status != http.StatusOK {
+		t.Fatalf("metrics during drain: status %d", status)
+	}
+	if metrics.ShutdownRejects < 1 {
+		t.Fatalf("shutdown_rejects = %d, want >= 1", metrics.ShutdownRejects)
+	}
+	if metrics.Errors["shutting_down"] < 1 {
+		t.Fatalf("errors[shutting_down] = %d, want >= 1", metrics.Errors["shutting_down"])
+	}
+	var health HealthResponse
+	if status := getJSON(t, srv2.Client(), srv2.URL+"/healthz", &health); status != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz during drain: status %d body %+v", status, health)
+	}
+
+	// Drain cannot finish while the admitted request is still running.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := svc2.Drain(shortCtx); err == nil {
+		t.Fatal("Drain returned with a request still in flight")
+	}
+
+	// Releasing the solver lets the in-flight request finish with 200 and
+	// Drain observe an idle gate.
+	close(release)
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request after drain began: status %d code %q, want 200", r.status, r.code)
+	}
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := svc2.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain after last request left: %v", err)
+	}
+}
+
+// TestServicePanicRecovery pins the recovery middleware: a panicking handler
+// yields a 500 internal_error envelope instead of a torn connection, the
+// /metrics counter moves, and the service keeps serving afterwards.
+func TestServicePanicRecovery(t *testing.T) {
+	svc := New(Config{})
+	// Production composition (recovery outside drain outside routes), plus
+	// one extra route that panics on demand.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.Handle("/", svc.routes())
+	srv := httptest.NewServer(svc.withRecovery(svc.withDrain(mux)))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+
+	status, code := post(t, srv.Client(), srv.URL+"/boom", struct{}{}, nil)
+	if status != http.StatusInternalServerError || code != "internal_error" {
+		t.Fatalf("panicking handler: status %d code %q, want 500 internal_error", status, code)
+	}
+
+	// The daemon lives on: a normal analysis still succeeds.
+	proc, srcs := wbsChain()
+	if status, code := post(t, srv.Client(), srv.URL+"/v1/analyze",
+		AnalyzeRequest{Tenant: "t1", BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}, nil); status != http.StatusOK {
+		t.Fatalf("analyze after contained panic: status %d code %q", status, code)
+	}
+
+	var metrics Metrics
+	getJSON(t, srv.Client(), srv.URL+"/metrics", &metrics)
+	if metrics.PanicsRecovered != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", metrics.PanicsRecovered)
+	}
+	if metrics.Errors["internal_error"] != 1 {
+		t.Fatalf("errors[internal_error] = %d, want 1", metrics.Errors["internal_error"])
+	}
+}
+
+// TestServiceDrainNoGoroutineLeaks pins that a full shutdown cycle —
+// traffic, BeginShutdown, rejected stragglers, Drain — parks no goroutines.
+func TestServiceDrainNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc := New(Config{SweepInterval: time.Millisecond})
+	srv := httptest.NewServer(svc.Handler())
+	proc, srcs := wbsChain()
+	for i := 0; i < 3; i++ {
+		post(t, srv.Client(), srv.URL+"/v1/analyze",
+			AnalyzeRequest{Tenant: fmt.Sprintf("t%d", i), BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}, nil)
+	}
+	svc.BeginShutdown()
+	for i := 0; i < 3; i++ {
+		if status, code := post(t, srv.Client(), srv.URL+"/v1/analyze",
+			AnalyzeRequest{Tenant: "t", BaseSrc: srcs[0], ModSrc: srcs[1], Proc: proc}, nil); status != http.StatusServiceUnavailable || code != "shutting_down" {
+			t.Fatalf("straggler %d: status %d code %q", i, status, code)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	srv.CloseClientConnections()
+	srv.Close()
+	svc.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// (internal/constraint). Empty selects the default incremental interval
 	// backend.
 	SolverBackend string
+	// SolverSMT configures the external solver session of the "smtlib"
+	// backend (binary path, per-check deadline, restart budget, circuit
+	// breaker); ignored by backends that never leave the process.
+	SolverSMT constraint.SMTOptions
+	// SolverPortfolio selects the member backends of the "portfolio"
+	// meta-backend by registry name; empty selects its default member set.
+	SolverPortfolio []string
 	// SolverCache, when non-nil, is a shared prefix-result cache: engines
 	// given the same cache (e.g. the worker pool of a batch analysis over
 	// variants of one base program) reuse each other's solved path-condition
@@ -128,6 +135,11 @@ type Stats struct {
 	// parent state's cached satisfying model instead of a solver call.
 	ModelHits    int
 	MaxStatesHit bool
+	// CheckPanics counts Backend.Check calls that panicked and were
+	// contained: the engine recovers, reports the check as Unknown, and
+	// keeps exploring. A sound backend never panics; this counter is the
+	// audit trail for a faulty one.
+	CheckPanics int
 	Time         time.Duration
 	Solver       constraint.Stats
 
@@ -310,6 +322,8 @@ func build(prog *ast.Program, proc *ast.Procedure, g *cfg.Graph, config Config) 
 		NodeBudget: config.SolverOptions.NodeBudget,
 		Interrupt:  config.SolverOptions.Interrupt,
 		Cache:      config.SolverCache,
+		SMT:        config.SolverSMT,
+		Portfolio:  config.SolverPortfolio,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("symexec: %w", err)
@@ -339,6 +353,8 @@ func (e *Engine) Fork() (*Engine, error) {
 		NodeBudget: e.config.SolverOptions.NodeBudget,
 		Interrupt:  e.config.SolverOptions.Interrupt,
 		Cache:      e.config.SolverCache,
+		SMT:        e.config.SolverSMT,
+		Portfolio:  e.config.SolverPortfolio,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("symexec: %w", err)
@@ -488,9 +504,25 @@ func (e *Engine) syncPC(s *State) {
 func (e *Engine) checkBranch(c sym.Expr) constraint.Result {
 	e.Backend.Push()
 	e.Backend.Assert(c)
-	res := e.Backend.Check()
+	res := e.safeCheck()
 	e.Backend.Pop()
 	return res
+}
+
+// safeCheck contains a panicking Backend.Check: the engine recovers,
+// counts the event (Stats.CheckPanics) and treats the check as Unknown, so
+// a faulty backend degrades an exploration's precision instead of tearing
+// down the whole analysis (or, in the service, the process). Only Check is
+// contained — a panic in Push/Pop/Assert indicates a stack-discipline bug
+// in the engine itself and must stay loud.
+func (e *Engine) safeCheck() (res constraint.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.CheckPanics++
+			res = constraint.Result{Unknown: true}
+		}
+	}()
+	return e.Backend.Check()
 }
 
 // CheckPC decides an arbitrary path condition against the engine's input
@@ -499,7 +531,7 @@ func (e *Engine) checkBranch(c sym.Expr) constraint.Result {
 // the same prefix reuse as the exploration itself.
 func (e *Engine) CheckPC(pc []sym.Expr) constraint.Result {
 	e.syncStack(pc)
-	return e.Backend.Check()
+	return e.safeCheck()
 }
 
 // InitialState builds the state at the begin node: parameters and (by
